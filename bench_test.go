@@ -1,0 +1,641 @@
+// Benchmarks that regenerate every table and figure of the paper's
+// evaluation, plus ablations of DYRS's design decisions. Run with
+//
+//	go test -bench=. -benchmem
+//
+// Each iteration performs the complete experiment in virtual time.
+// Reported metrics (ns/op) measure simulation cost, not cluster time;
+// the experiment outputs themselves are printed once per benchmark via
+// b.Log at -v, and by cmd/dyrs-bench.
+package dyrs_test
+
+import (
+	"testing"
+	"time"
+
+	"dyrs"
+	"dyrs/internal/cluster"
+	"dyrs/internal/compute"
+	"dyrs/internal/dfs"
+	"dyrs/internal/experiments"
+	"dyrs/internal/migration"
+	"dyrs/internal/sim"
+	"dyrs/internal/workload"
+)
+
+const benchSeed = 42
+
+// --- Motivation analyses (Figs. 1-3) ---
+
+func BenchmarkFig1TraceUtilizationSeries(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep := dyrs.RunTrace(benchSeed)
+		if rep.Trace.MeanUtilization() <= 0 {
+			b.Fatal("empty trace")
+		}
+		if i == 0 {
+			b.Log("\n" + rep.Fig1())
+		}
+	}
+}
+
+func BenchmarkFig2LeadTimeVsReadTime(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep := dyrs.RunTrace(benchSeed)
+		f := rep.Trace.FractionLeadCoversRead()
+		if f < 0.6 || f > 0.95 {
+			b.Fatalf("lead>read fraction %.2f out of calibration", f)
+		}
+		if i == 0 {
+			b.Log("\n" + rep.Fig2())
+		}
+	}
+}
+
+func BenchmarkFig3UtilizationCDF(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep := dyrs.RunTrace(benchSeed)
+		if rep.Trace.FractionUnder(0.04) < 0.5 {
+			b.Fatal("utilization CDF out of calibration")
+		}
+		if i == 0 {
+			b.Log("\n" + rep.Fig3())
+		}
+	}
+}
+
+// --- Hive (Fig. 4) ---
+
+func BenchmarkFig4HiveQueries(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep, err := dyrs.RunHive(benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if s := rep.MeanSpeedup(experiments.DYRS); s < 0.1 {
+			b.Fatalf("DYRS mean Hive speedup %.2f suspiciously low", s)
+		}
+		if i == 0 {
+			b.Log("\n" + rep.String())
+		}
+	}
+}
+
+// --- SWIM (Table I, Figs. 5-7) ---
+
+func runSWIM(b *testing.B) dyrs.SWIMReport {
+	b.Helper()
+	rep, err := dyrs.RunSWIM(benchSeed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return rep
+}
+
+func BenchmarkTable1SWIMJobDurations(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep := runSWIM(b)
+		base := rep.Runs[experiments.HDFS].MeanJobSeconds()
+		dy := rep.Runs[experiments.DYRS].MeanJobSeconds()
+		if dy >= base {
+			b.Fatalf("DYRS (%.1fs) did not beat HDFS (%.1fs)", dy, base)
+		}
+		if i == 0 {
+			b.Log("\n" + rep.TableI())
+		}
+	}
+}
+
+func BenchmarkFig5JobDurationBySize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep := runSWIM(b)
+		if i == 0 {
+			b.Log("\n" + rep.Fig5())
+		}
+	}
+}
+
+func BenchmarkFig6MapTaskDurations(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep := runSWIM(b)
+		hdfs := rep.Runs[experiments.HDFS].MapperDurations.Mean()
+		dy := rep.Runs[experiments.DYRS].MapperDurations.Mean()
+		if hdfs/dy < 1.2 {
+			b.Fatalf("mapper speedup %.2fx below calibration", hdfs/dy)
+		}
+		if i == 0 {
+			b.Log("\n" + rep.Fig6())
+		}
+	}
+}
+
+func BenchmarkFig7MemoryFootprint(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep := runSWIM(b)
+		if rep.Runs[experiments.RAM].HypotheticalMemSamples == nil {
+			b.Fatal("missing hypothetical memory reconstruction")
+		}
+		if i == 0 {
+			b.Log("\n" + rep.Fig7())
+		}
+	}
+}
+
+// --- Sort (Figs. 8-11, Table II) ---
+
+func BenchmarkFig8ReadDistribution(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep, err := dyrs.RunFig8(benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + rep.String())
+		}
+	}
+}
+
+func BenchmarkTable2InterferencePatterns(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep, err := dyrs.RunTableII(benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rep.Rows) != 5 {
+			b.Fatalf("patterns = %d", len(rep.Rows))
+		}
+		if i == 0 {
+			b.Log("\n" + rep.String())
+		}
+	}
+}
+
+func BenchmarkFig9EstimateTracking(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep, err := dyrs.RunTableII(benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, row := range rep.Rows {
+			if len(row.EstimateNode1) == 0 {
+				b.Fatalf("no estimate series for %s", row.Figure)
+			}
+		}
+		if i == 0 {
+			b.Log("\n" + rep.Fig9String())
+		}
+	}
+}
+
+func BenchmarkFig10StragglerAvoidance(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep, err := dyrs.RunFig10(benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_, naive := rep.SlowTail(experiments.Naive, 10)
+		_, dy := rep.SlowTail(experiments.DYRS, 10)
+		if dy >= naive {
+			b.Fatalf("DYRS overhang %.1fs not better than naive %.1fs", dy, naive)
+		}
+		if i == 0 {
+			b.Log("\n" + rep.String())
+		}
+	}
+}
+
+func BenchmarkFig11LeadTimeSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep, err := dyrs.RunFig11(benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rep.Rows) != 16 {
+			b.Fatalf("rows = %d", len(rep.Rows))
+		}
+		if i == 0 {
+			b.Log("\n" + rep.String())
+		}
+	}
+}
+
+// --- Ablations of DYRS design decisions (DESIGN.md §4) ---
+
+// ablationSort runs a 20GB DYRS sort under a modified migration config
+// and returns the job duration in seconds. The scenario is deliberately
+// tight — short lead-time and alternating interference on two nodes — so
+// the design knobs under study actually bind: migration overlaps the map
+// phase and residual bandwidth keeps shifting.
+func ablationSort(b *testing.B, mutate func(*migration.Config)) float64 {
+	b.Helper()
+	opt := experiments.DefaultOptions(benchSeed)
+	mcfg := migration.DefaultConfig()
+	if mutate != nil {
+		mutate(&mcfg)
+	}
+	opt.MigrationConfig = &mcfg
+	env := experiments.NewEnv(experiments.DYRS, opt)
+	defer env.Close()
+	a := cluster.StartAlternating(env.Eng, env.Cl.Node(0), 2, 2.5, 10*time.Second, true)
+	defer a.Stop()
+	bb := cluster.StartAlternating(env.Eng, env.Cl.Node(1), 2, 2.5, 15*time.Second, false)
+	defer bb.Stop()
+	if err := env.WarmupEstimates(); err != nil {
+		b.Fatal(err)
+	}
+	if err := env.CreateInput("sort-input", 20*sim.GB); err != nil {
+		b.Fatal(err)
+	}
+	spec := env.Prepare(workload.SortSpec("sort-input", 14, true))
+	spec.ExtraLeadTime = 5 * time.Second
+	j, err := env.FW.Submit(spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := env.WaitJob(j, time.Hour); err != nil {
+		b.Fatal(err)
+	}
+	return j.Duration().Seconds()
+}
+
+// estimateReactionLag measures how long the migration-time estimate takes
+// to triple after residual bandwidth suddenly drops — the quantity the
+// §IV-A in-progress update exists to improve. It runs a steady stream of
+// migrations on one node and switches heavy interference on mid-run.
+func estimateReactionLag(b *testing.B, disableUpdates bool) float64 {
+	b.Helper()
+	eng := sim.NewEngine(benchSeed)
+	cl := cluster.New(eng, 2, nil)
+	fsCfg := dfs.DefaultConfig()
+	fsCfg.Replication = 1
+	fs := dfs.New(cl, fsCfg)
+	mcfg := migration.DefaultConfig()
+	mcfg.DisableInProgressUpdates = disableUpdates
+	c := migration.NewCoordinator(fs, mcfg, migration.NewDYRSBinder())
+	defer c.Shutdown()
+	if _, err := fs.CreateFile("stream", 40*sim.GB); err != nil {
+		b.Fatal(err)
+	}
+	if err := c.Migrate(1, []string{"stream"}, false); err != nil {
+		b.Fatal(err)
+	}
+	const onset = 30.0
+	var node0 *cluster.Node
+	for _, n := range cl.Nodes() {
+		if n.ID == 0 {
+			node0 = n
+		}
+	}
+	eng.Schedule(time.Duration(onset*float64(time.Second)), func() {
+		node0.StartInterference(8, 2)
+	})
+	eng.RunUntil(sim.Time(3 * time.Minute))
+	baseline := 256 * float64(sim.MB) / node0.Cfg.DiskBandwidth
+	for _, p := range c.EstimateSeries(0).Points() {
+		if p.T > onset && p.V > 3*baseline {
+			return p.T - onset
+		}
+	}
+	return -1 // never reacted within the horizon
+}
+
+func BenchmarkAblationInProgressUpdates(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		with := estimateReactionLag(b, false)
+		without := estimateReactionLag(b, true)
+		if with < 0 || (without >= 0 && with >= without) {
+			b.Fatalf("in-progress updates did not speed up estimate reaction: %.1fs vs %.1fs", with, without)
+		}
+		if i == 0 {
+			b.Logf("estimate reaction lag after bandwidth drop: with in-progress updates %.1fs; completion-only %.1fs", with, without)
+		}
+	}
+}
+
+func BenchmarkAblationQueueDepth(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, depth := range []int{1, 2, 4, 16} {
+			depth := depth
+			d := ablationSort(b, func(c *migration.Config) { c.QueueDepth = depth })
+			if i == 0 {
+				b.Logf("queue depth %2d: sort %.1fs", depth, d)
+			}
+		}
+	}
+}
+
+func BenchmarkAblationIOWeight(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, w := range []float64{0.1, 0.25, 1.0} {
+			w := w
+			d := ablationSort(b, func(c *migration.Config) { c.IOWeight = w })
+			if i == 0 {
+				b.Logf("migration IO weight %.2f: sort %.1fs", w, d)
+			}
+		}
+	}
+}
+
+func BenchmarkAblationBindingPolicy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := map[experiments.Policy]float64{}
+		for _, p := range []experiments.Policy{experiments.DYRS, experiments.Naive, experiments.Ignem, experiments.HDFS} {
+			env := experiments.NewEnv(p, experiments.DefaultOptions(benchSeed))
+			stop := env.SlowNodeInterference(0)
+			if err := env.WarmupEstimates(); err != nil {
+				b.Fatal(err)
+			}
+			if err := env.CreateInput("sort-input", 20*sim.GB); err != nil {
+				b.Fatal(err)
+			}
+			spec := env.Prepare(workload.SortSpec("sort-input", 14, p.Migrates()))
+			spec.ExtraLeadTime = 20 * time.Second
+			j, err := env.FW.Submit(spec)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := env.WaitJob(j, time.Hour); err != nil {
+				b.Fatal(err)
+			}
+			res[p] = j.Duration().Seconds()
+			stop()
+			env.Close()
+		}
+		if i == 0 {
+			b.Logf("binding policy sort durations: %v", res)
+		}
+	}
+}
+
+// --- Microbenchmarks of the substrate ---
+
+func BenchmarkSimEngineEvents(b *testing.B) {
+	eng := sim.NewEngine(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.Schedule(time.Duration(i%1000)*time.Millisecond, func() {})
+	}
+	eng.Run()
+}
+
+func BenchmarkResourceFlows(b *testing.B) {
+	eng := sim.NewEngine(1)
+	r := sim.NewResource(eng, "disk", 130*float64(sim.MB), sim.SeekEfficiency(0.05))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Start(256*sim.MB, nil)
+		if i%16 == 15 {
+			eng.Run()
+		}
+	}
+	eng.Run()
+}
+
+func BenchmarkAlgorithm1UpdateTargets(b *testing.B) {
+	// Scalability of the master's target-update pass (§III-D): the paper
+	// reports updating 50GB of pending migrations in under a millisecond.
+	eng := sim.NewEngine(1)
+	cl := cluster.New(eng, 7, nil)
+	fs := dfs.New(cl, dfs.DefaultConfig())
+	binder := migration.NewDYRSBinder()
+	c := migration.NewCoordinator(fs, migration.DefaultConfig(), binder)
+	defer c.Shutdown()
+	if _, err := fs.CreateFile("big", 50*sim.GB); err != nil {
+		b.Fatal(err)
+	}
+	if err := c.Migrate(1, []string{"big"}, false); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		binder.UpdateTargets()
+	}
+	if binder.PendingCount() == 0 {
+		b.Fatal("pending list drained unexpectedly")
+	}
+}
+
+func BenchmarkExtensionOrderPolicies(b *testing.B) {
+	// The paper's §III future work: alternative migration scheduling
+	// policies and cooperation with the job scheduler.
+	for i := 0; i < b.N; i++ {
+		rep, err := experiments.RunOrderPolicies(benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + rep.String())
+		}
+	}
+}
+
+func BenchmarkMotivationReadSpeedups(b *testing.B) {
+	// The §I micro-comparison: block reads from RAM vs disk vs SSD, and
+	// the 10x mapper speedup from pinned inputs.
+	for i := 0; i < b.N; i++ {
+		rep, err := experiments.RunMotivation(benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.MapperSpeedup() < 3 {
+			b.Fatalf("mapper speedup %.1fx below calibration", rep.MapperSpeedup())
+		}
+		if i == 0 {
+			b.Log("\n" + rep.String())
+		}
+	}
+}
+
+func BenchmarkExtensionHotColdCache(b *testing.B) {
+	// The paper's motivating gap: a PACMan-like cache accelerates hot
+	// data only; DYRS covers singly-accessed cold data; they compose.
+	for i := 0; i < b.N; i++ {
+		rep, err := experiments.RunHotCold(benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + rep.String())
+		}
+	}
+}
+
+func BenchmarkExtensionIterativeColdStart(b *testing.B) {
+	// §I: cold first iterations of iterative jobs (K-Means, LogReg) run
+	// many times longer than later ones; DYRS shrinks the penalty.
+	for i := 0; i < b.N; i++ {
+		rep, err := experiments.RunIterative(benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + rep.String())
+		}
+	}
+}
+
+func BenchmarkExtensionSpeculationVsMigration(b *testing.B) {
+	// Speculative execution treats straggler symptoms; DYRS removes one
+	// of their causes (slow cold reads). With migration on, far fewer
+	// speculative copies launch.
+	run := func(policy experiments.Policy) (float64, int) {
+		opt := experiments.DefaultOptions(benchSeed)
+		opt.SlowNodes = map[int]float64{0: 0.05}
+		env := experiments.NewEnv(policy, opt)
+		defer env.Close()
+		env.FW.EnableSpeculation(compute.DefaultSpeculation())
+		defer env.FW.StopSpeculation()
+		if err := env.WarmupEstimates(); err != nil {
+			b.Fatal(err)
+		}
+		if err := env.CreateInput("in", 10*sim.GB); err != nil {
+			b.Fatal(err)
+		}
+		spec := env.Prepare(workload.SortSpec("in", 8, policy.Migrates()))
+		spec.ExtraLeadTime = 20 * time.Second
+		j, err := env.FW.Submit(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := env.WaitJob(j, time.Hour); err != nil {
+			b.Fatal(err)
+		}
+		return j.MapPhase().Seconds(), j.SpeculativeLaunched
+	}
+	for i := 0; i < b.N; i++ {
+		hdfsMap, hdfsSpec := run(experiments.HDFS)
+		dyrsMap, dyrsSpec := run(experiments.DYRS)
+		if i == 0 {
+			b.Logf("HDFS+speculation: map %.1fs, %d speculative copies; DYRS+speculation: map %.1fs, %d copies",
+				hdfsMap, hdfsSpec, dyrsMap, dyrsSpec)
+		}
+	}
+}
+
+func BenchmarkExtensionAqueductRateControl(b *testing.B) {
+	// Aqueduct-style adaptive migration priority (§VI related work):
+	// compare a foreground job's duration with full-priority migration
+	// vs the AIMD rate controller, while a large background migration
+	// runs concurrently.
+	run := func(adaptive bool) (fg float64, migrated sim.Bytes) {
+		opt := experiments.DefaultOptions(benchSeed)
+		mcfg := migration.DefaultConfig()
+		mcfg.IOWeight = 1.0 // start at full priority either way
+		opt.MigrationConfig = &mcfg
+		env := experiments.NewEnv(experiments.DYRS, opt)
+		defer env.Close()
+		var rc *migration.RateController
+		if adaptive {
+			rc = migration.NewRateController(env.Coord, time.Second)
+			defer rc.Stop()
+		}
+		// Big background migration request (no job attached to it yet).
+		if err := env.CreateInput("background", 60*sim.GB); err != nil {
+			b.Fatal(err)
+		}
+		if err := env.Coord.Migrate(1000, []string{"background"}, false); err != nil {
+			b.Fatal(err)
+		}
+		// Foreground job arrives shortly after and reads cold data.
+		if err := env.CreateInput("foreground", 6*sim.GB); err != nil {
+			b.Fatal(err)
+		}
+		spec := env.Prepare(workload.SortSpec("foreground", 8, false))
+		spec.Migrate = false // pure foreground victim
+		var fgJob *compute.Job
+		env.FW.SubmitAt(sim.Time(5*time.Second), spec, func(j *compute.Job, err error) {
+			if err != nil {
+				b.Error(err)
+			}
+			fgJob = j
+		})
+		env.Eng.RunUntil(sim.Time(10 * time.Minute))
+		if fgJob == nil || fgJob.State != compute.JobDone {
+			b.Fatal("foreground job did not finish")
+		}
+		return fgJob.Duration().Seconds(), env.Coord.Stats().BytesMigrated
+	}
+	for i := 0; i < b.N; i++ {
+		fgStatic, migStatic := run(false)
+		fgAdaptive, migAdaptive := run(true)
+		if i == 0 {
+			b.Logf("foreground job: %.1fs with full-priority migration (%.1fGB migrated) vs %.1fs with AIMD control (%.1fGB migrated)",
+				fgStatic, float64(migStatic)/float64(sim.GB),
+				fgAdaptive, float64(migAdaptive)/float64(sim.GB))
+		}
+	}
+}
+
+func BenchmarkAblationMemoryLimit(b *testing.B) {
+	// The §IV-A1 hard memory limit: sweep the buffer budget and watch
+	// migration throttle gracefully instead of failing.
+	for i := 0; i < b.N; i++ {
+		for _, frac := range []float64{0.002, 0.01, 0.05, 1.0} {
+			frac := frac
+			opt := experiments.DefaultOptions(benchSeed)
+			mcfg := migration.DefaultConfig()
+			mcfg.MemLimitFraction = frac
+			opt.MigrationConfig = &mcfg
+			env := experiments.NewEnv(experiments.DYRS, opt)
+			if err := env.CreateInput("in", 20*sim.GB); err != nil {
+				b.Fatal(err)
+			}
+			spec := env.Prepare(workload.SortSpec("in", 8, true))
+			spec.ExtraLeadTime = 25 * time.Second
+			j, err := env.FW.Submit(spec)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := env.WaitJob(j, time.Hour); err != nil {
+				b.Fatal(err)
+			}
+			if i == 0 {
+				st := env.Coord.Stats()
+				b.Logf("mem limit %5.1fGB/node: sort %.1fs, migrated %d, blocked-on-memory events on node0: %d",
+					frac*64, j.Duration().Seconds(), st.Migrated,
+					env.Coord.Slave(0).BlockedOnMemory)
+			}
+			env.Close()
+		}
+	}
+}
+
+func BenchmarkExtensionFairScheduler(b *testing.B) {
+	// Cross-job scheduling policy under a SWIM prefix: fair sharing
+	// keeps small jobs from queueing behind large ones, which also
+	// spreads lead-time differently for migration.
+	run := func(fair bool) float64 {
+		env := experiments.NewEnv(experiments.DYRS, experiments.DefaultOptions(benchSeed))
+		defer env.Close()
+		if fair {
+			env.FW.SetSchedPolicy(compute.SchedFair)
+		}
+		cfg := workload.DefaultSWIMConfig()
+		cfg.Jobs = 60
+		cfg.TotalInput = 50 * sim.GB
+		trace := workload.GenerateSWIM(env.Eng.Rand(), cfg)
+		for _, j := range trace {
+			if err := env.CreateInput(j.FileName(), j.InputSize); err != nil {
+				b.Fatal(err)
+			}
+		}
+		for _, j := range trace {
+			env.FW.SubmitAt(sim.Time(j.Arrival/4), env.Prepare(j.Spec(true)), nil)
+		}
+		if err := env.WaitJobs(len(trace), 4*time.Hour); err != nil {
+			b.Fatal(err)
+		}
+		var sum float64
+		for _, j := range env.FW.Results() {
+			sum += j.Duration().Seconds()
+		}
+		return sum / float64(len(env.FW.Results()))
+	}
+	for i := 0; i < b.N; i++ {
+		fifo := run(false)
+		fair := run(true)
+		if i == 0 {
+			b.Logf("mean job duration: FIFO %.1fs, fair %.1fs", fifo, fair)
+		}
+	}
+}

@@ -1,0 +1,187 @@
+// Command dyrs-bench regenerates every table and figure of the DYRS
+// paper's evaluation and prints them as text tables/series.
+//
+// Usage:
+//
+//	dyrs-bench [-seed N] [-only fig4,table1,...]
+//
+// Experiment names: fig1 fig2 fig3 fig4 table1 fig5 fig6 fig7 fig8 fig9
+// table2 fig10 fig11 (aliases: hive=fig4, swim=table1), plus the
+// extension studies: motivation (§I read-speedup micro-comparison),
+// order (future-work migration ordering policies), hotcold (cache vs
+// migration on hot/cold data), iterative (cold-start penalty of
+// iterative jobs).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"dyrs"
+	"dyrs/internal/experiments"
+)
+
+func main() {
+	seed := flag.Int64("seed", 42, "simulation seed; identical seeds give identical results")
+	only := flag.String("only", "", "comma-separated experiment subset (default: all)")
+	asJSON := flag.Bool("json", false, "emit every experiment as one JSON document instead of text tables")
+	flag.Parse()
+
+	if *asJSON {
+		rep, err := experiments.RunAll(*seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dyrs-bench:", err)
+			os.Exit(1)
+		}
+		if err := rep.WriteJSON(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "dyrs-bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	want := map[string]bool{}
+	if *only != "" {
+		for _, name := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(strings.ToLower(name))] = true
+		}
+		if want["hive"] {
+			want["fig4"] = true
+		}
+		if want["swim"] {
+			want["table1"] = true
+		}
+	}
+	sel := func(names ...string) bool {
+		if len(want) == 0 {
+			return true
+		}
+		for _, n := range names {
+			if want[n] {
+				return true
+			}
+		}
+		return false
+	}
+
+	start := time.Now()
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "dyrs-bench:", err)
+		os.Exit(1)
+	}
+
+	if sel("fig1", "fig2", "fig3") {
+		tr := dyrs.RunTrace(*seed)
+		if sel("fig1") {
+			fmt.Println(tr.Fig1())
+		}
+		if sel("fig2") {
+			fmt.Println(tr.Fig2())
+		}
+		if sel("fig3") {
+			fmt.Println(tr.Fig3())
+		}
+	}
+
+	if sel("fig4") {
+		rep, err := dyrs.RunHive(*seed)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(rep)
+	}
+
+	if sel("table1", "fig5", "fig6", "fig7") {
+		rep, err := dyrs.RunSWIM(*seed)
+		if err != nil {
+			fail(err)
+		}
+		if sel("table1") {
+			fmt.Println(rep.TableI())
+		}
+		if sel("fig5") {
+			fmt.Println(rep.Fig5())
+		}
+		if sel("fig6") {
+			fmt.Println(rep.Fig6())
+		}
+		if sel("fig7") {
+			fmt.Println(rep.Fig7())
+		}
+	}
+
+	if sel("fig8") {
+		rep, err := dyrs.RunFig8(*seed)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(rep)
+	}
+
+	if sel("table2", "fig9") {
+		rep, err := dyrs.RunTableII(*seed)
+		if err != nil {
+			fail(err)
+		}
+		if sel("table2") {
+			fmt.Println(rep)
+		}
+		if sel("fig9") {
+			fmt.Println(rep.Fig9String())
+		}
+	}
+
+	if sel("fig10") {
+		rep, err := dyrs.RunFig10(*seed)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(rep)
+	}
+
+	if sel("fig11") {
+		rep, err := dyrs.RunFig11(*seed)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(rep)
+	}
+
+	if sel("motivation") {
+		rep, err := dyrs.RunMotivation(*seed)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(rep)
+	}
+
+	if sel("order") {
+		rep, err := dyrs.RunOrderPolicies(*seed)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(rep)
+	}
+
+	if sel("hotcold") {
+		rep, err := dyrs.RunHotCold(*seed)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(rep)
+	}
+
+	if sel("iterative") {
+		rep, err := dyrs.RunIterative(*seed)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(rep)
+	}
+
+	fmt.Printf("(all requested experiments regenerated in %.2fs wall-clock)\n",
+		time.Since(start).Seconds())
+}

@@ -1,0 +1,179 @@
+// Command dyrs-sim runs one configurable scenario: a Sort job (or a Hive
+// query) on a simulated cluster under a chosen policy, with optional
+// interference, and prints job timings plus migration statistics.
+//
+// Examples:
+//
+//	dyrs-sim -policy DYRS -size 10 -lead 20s -interfere 0
+//	dyrs-sim -policy Ignem -workload hive -query q15
+//	dyrs-sim -policy HDFS -size 20 -alternate 10s -interfere 1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"time"
+
+	"dyrs"
+	"dyrs/internal/cluster"
+	"dyrs/internal/experiments"
+	"dyrs/internal/sim"
+	"dyrs/internal/telemetry"
+	"dyrs/internal/workload"
+)
+
+func main() {
+	policyFlag := flag.String("policy", "DYRS", "HDFS | HDFS-Inputs-in-RAM | Ignem | DYRS | Naive")
+	wl := flag.String("workload", "sort", "sort | hive | swim")
+	sizeGB := flag.Float64("size", 10, "sort input size in GB")
+	query := flag.String("query", "q52", "hive query name (see dyrs.TPCDSQueries)")
+	swimJobs := flag.Int("swim-jobs", 50, "number of trace jobs for the swim workload")
+	lead := flag.Duration("lead", 10*time.Second, "artificially inserted lead-time")
+	interfere := flag.Int("interfere", -1, "node index to run dd-style interference on (-1: none)")
+	alternate := flag.Duration("alternate", 0, "alternate interference on/off with this period (0: persistent)")
+	workers := flag.Int("workers", 7, "number of worker nodes")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	showTelemetry := flag.Bool("telemetry", false, "render per-node disk utilization after the run")
+	flag.Parse()
+
+	policy := dyrs.Policy(*policyFlag)
+	switch policy {
+	case dyrs.PolicyHDFS, dyrs.PolicyRAM, dyrs.PolicyIgnem, dyrs.PolicyDYRS, dyrs.PolicyNaive:
+	default:
+		fmt.Fprintf(os.Stderr, "dyrs-sim: unknown policy %q\n", *policyFlag)
+		os.Exit(2)
+	}
+
+	if *wl == "hive" {
+		runHive(policy, *query, *seed)
+		return
+	}
+
+	opt := dyrs.DefaultOptions(*seed)
+	opt.Workers = *workers
+	env := dyrs.NewEnv(policy, opt)
+	defer env.Close()
+
+	var col *telemetry.Collector
+	if *showTelemetry {
+		col = telemetry.Start(env.Cl, env.FS, time.Second)
+		defer func() {
+			col.Stop()
+			fmt.Println("\nper-node disk utilization (one column per second, 0-9 scale):")
+			col.RenderDisk(os.Stdout, 100)
+		}()
+	}
+
+	if *wl == "swim" {
+		runSWIM(env, *swimJobs, *seed)
+		return
+	}
+
+	var stop func()
+	if *interfere >= 0 && *interfere < *workers {
+		node := env.Cl.Node(cluster.NodeID(*interfere))
+		if *alternate > 0 {
+			p := cluster.StartAlternating(env.Eng, node, 2, 2.5, *alternate, true)
+			stop = p.Stop
+		} else {
+			inf := node.StartInterference(2, 2.5)
+			stop = inf.Stop
+		}
+		defer stop()
+	}
+
+	if err := env.WarmupEstimates(); err != nil {
+		fatal(err)
+	}
+	size := sim.Bytes(*sizeGB * float64(dyrs.GB))
+	if err := env.CreateInput("input", size); err != nil {
+		fatal(err)
+	}
+	spec := env.Prepare(dyrs.SortSpec("input", 2**workers, policy.Migrates()))
+	spec.ExtraLeadTime = *lead
+	j, err := env.FW.Submit(spec)
+	if err != nil {
+		fatal(err)
+	}
+	if err := env.WaitJob(j, time.Hour); err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("policy      : %s\n", policy)
+	fmt.Printf("input       : %s in %d blocks\n", sim.FormatBytes(size), len(j.Tasks))
+	fmt.Printf("lead-time   : %v (inserted %v)\n", j.LeadTime(), *lead)
+	fmt.Printf("map phase   : %v\n", j.MapPhase())
+	fmt.Printf("end-to-end  : %v\n", j.Duration())
+	srcs := map[string]int{}
+	for _, tr := range j.Tasks {
+		srcs[tr.Source.String()]++
+	}
+	fmt.Printf("read sources: %v\n", srcs)
+	if env.Coord != nil {
+		st := env.Coord.Stats()
+		fmt.Printf("migration   : requested=%d migrated=%d dropped=%d evicted=%d hits=%d missed=%d bytes=%s\n",
+			st.Requested, st.Migrated, st.Dropped, st.Evicted,
+			st.MemoryHits, st.MissedReads, sim.FormatBytes(st.BytesMigrated))
+	}
+}
+
+// runSWIM replays a prefix of the SWIM trace workload in the prepared
+// environment and prints aggregate job statistics.
+func runSWIM(env *dyrs.Env, jobs int, seed int64) {
+	cfg := workload.DefaultSWIMConfig()
+	cfg.Jobs = jobs
+	cfg.TotalInput = sim.Bytes(float64(cfg.TotalInput) * float64(jobs) / 200)
+	trace := workload.GenerateSWIM(rand.New(rand.NewSource(seed)), cfg)
+	for _, j := range trace {
+		if err := env.CreateInput(j.FileName(), j.InputSize); err != nil {
+			fatal(err)
+		}
+	}
+	for _, j := range trace {
+		spec := env.Prepare(j.Spec(env.Policy.Migrates()))
+		env.FW.SubmitAt(sim.Time(j.Arrival), spec, nil)
+	}
+	if err := env.WaitJobs(len(trace), 4*time.Hour); err != nil {
+		fatal(err)
+	}
+	var total, mapTotal float64
+	var tasks int
+	for _, j := range env.FW.Results() {
+		total += j.Duration().Seconds()
+		mapTotal += j.MapPhase().Seconds()
+		tasks += len(j.Tasks)
+	}
+	n := float64(len(env.FW.Results()))
+	fmt.Printf("policy      : %s\n", env.Policy)
+	fmt.Printf("jobs        : %d (%d map tasks)\n", len(env.FW.Results()), tasks)
+	fmt.Printf("avg job     : %.1fs (map phase %.1fs)\n", total/n, mapTotal/n)
+	if env.Coord != nil {
+		st := env.Coord.Stats()
+		fmt.Printf("migration   : migrated=%d dropped=%d hits=%d missed=%d bytes=%s\n",
+			st.Migrated, st.Dropped, st.MemoryHits, st.MissedReads, sim.FormatBytes(st.BytesMigrated))
+	}
+}
+
+func runHive(policy dyrs.Policy, name string, seed int64) {
+	for _, q := range dyrs.TPCDSQueries() {
+		if q.Name != name {
+			continue
+		}
+		d, err := experiments.RunHiveQuery(q, policy, seed)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("query %s (%s) under %s: %.1fs\n",
+			q.Name, sim.FormatBytes(q.InputSize), policy, d)
+		return
+	}
+	fmt.Fprintf(os.Stderr, "dyrs-sim: unknown query %q\n", name)
+	os.Exit(2)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dyrs-sim:", err)
+	os.Exit(1)
+}

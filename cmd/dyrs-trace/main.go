@@ -1,0 +1,78 @@
+// Command dyrs-trace runs the Google-cluster-trace motivation analyses
+// of the paper's §II (Figs. 1-3) over a synthetic trace calibrated to
+// the published statistics.
+//
+// Usage:
+//
+//	dyrs-trace [-seed N] [-servers N] [-hours H] [-jobs N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"dyrs/internal/experiments"
+	"dyrs/internal/gtrace"
+)
+
+func main() {
+	seed := flag.Int64("seed", 1, "trace synthesis seed")
+	servers := flag.Int("servers", 40, "number of servers to synthesize")
+	hours := flag.Int("hours", 24, "trace span in hours")
+	jobs := flag.Int("jobs", 2000, "number of jobs for the lead-time analysis")
+	jsonOut := flag.String("json", "", "also write the full trace as JSON to this file")
+	utilCSV := flag.String("util-csv", "", "also write per-server utilization samples as CSV to this file")
+	jobsCSV := flag.String("jobs-csv", "", "also write the job lead/read records as CSV to this file")
+	loadJSON := flag.String("load", "", "analyze a trace loaded from this JSON file instead of synthesizing one")
+	flag.Parse()
+
+	var trace *gtrace.Trace
+	if *loadJSON != "" {
+		f, err := os.Open(*loadJSON)
+		if err != nil {
+			fatal(err)
+		}
+		trace, err = gtrace.ReadJSON(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+	} else {
+		cfg := gtrace.DefaultConfig()
+		cfg.Seed = *seed
+		cfg.Servers = *servers
+		cfg.Duration = time.Duration(*hours) * time.Hour
+		cfg.Jobs = *jobs
+		trace = gtrace.Generate(cfg)
+	}
+
+	rep := experiments.TraceReport{Trace: trace}
+	fmt.Println(rep.Fig1())
+	fmt.Println(rep.Fig2())
+	fmt.Println(rep.Fig3())
+
+	export := func(path string, write func(f *os.File) error) {
+		if path == "" {
+			return
+		}
+		f, err := os.Create(path)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := write(f); err != nil {
+			fatal(err)
+		}
+		fmt.Println("wrote", path)
+	}
+	export(*jsonOut, func(f *os.File) error { return trace.WriteJSON(f) })
+	export(*utilCSV, func(f *os.File) error { return trace.WriteUtilizationCSV(f) })
+	export(*jobsCSV, func(f *os.File) error { return trace.WriteJobsCSV(f) })
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dyrs-trace:", err)
+	os.Exit(1)
+}

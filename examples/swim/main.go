@@ -1,0 +1,44 @@
+// SWIM example: replay a slice of the Facebook-derived trace workload —
+// concurrent jobs with heavy-tailed input sizes — under HDFS and DYRS,
+// and report per-size-bin speedups plus migration statistics.
+//
+//	go run ./examples/swim
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dyrs"
+	"dyrs/internal/experiments"
+)
+
+func main() {
+	runs := map[dyrs.Policy]*dyrs.SWIMRun{}
+	for _, policy := range []dyrs.Policy{dyrs.PolicyHDFS, dyrs.PolicyDYRS} {
+		run, err := dyrs.RunSWIMOnce(policy, 1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		runs[policy] = run
+	}
+
+	hdfs, dy := runs[dyrs.PolicyHDFS], runs[dyrs.PolicyDYRS]
+	fmt.Printf("replayed %d trace jobs per policy\n\n", len(hdfs.Jobs))
+	fmt.Printf("average job duration: HDFS %.1fs, DYRS %.1fs (%+.0f%%)\n",
+		hdfs.MeanJobSeconds(), dy.MeanJobSeconds(),
+		(hdfs.MeanJobSeconds()-dy.MeanJobSeconds())/hdfs.MeanJobSeconds()*100)
+
+	hb, db := hdfs.MeanJobSecondsByBin(), dy.MeanJobSecondsByBin()
+	for _, bin := range experiments.SizeBins {
+		fmt.Printf("  %-6s jobs: HDFS %6.1fs  DYRS %6.1fs  (%+.0f%%)\n",
+			bin, hb[bin], db[bin], (hb[bin]-db[bin])/hb[bin]*100)
+	}
+
+	fmt.Printf("\nmap tasks: HDFS mean %.1fs, DYRS mean %.1fs (%.1fx faster)\n",
+		hdfs.MapperDurations.Mean(), dy.MapperDurations.Mean(),
+		hdfs.MapperDurations.Mean()/dy.MapperDurations.Mean())
+	fmt.Printf("DYRS migrated %.1f GB; peak per-server buffer %.2f GB\n",
+		float64(dy.BytesMigrated)/float64(dyrs.GB),
+		float64(dy.PeakMemPerServer)/float64(dyrs.GB))
+}

@@ -1,0 +1,3 @@
+module dyrs
+
+go 1.22

@@ -1,0 +1,226 @@
+// Package cache implements a PACMan-style coordinated in-memory block
+// cache over the simulated DFS. It exists as a comparison point: caching
+// accelerates repeatedly-read (hot) data but cannot help the ~30% of
+// tasks that read singly-accessed cold data (paper §I, §VI) — the gap
+// DYRS fills. The cache and DYRS compose: the cache keeps hot blocks
+// resident after their first read, while DYRS pre-loads cold inputs
+// before their only read.
+package cache
+
+import (
+	"container/list"
+	"fmt"
+
+	"dyrs/internal/cluster"
+	"dyrs/internal/dfs"
+	"dyrs/internal/sim"
+)
+
+// EvictPolicy selects the cache's eviction order.
+type EvictPolicy int
+
+const (
+	// LRU evicts the least recently used block.
+	LRU EvictPolicy = iota
+	// LIFE approximates PACMan's wave-width-aware policy by evicting
+	// blocks of the *largest* cached file first: large files need many
+	// cached blocks before any wave speeds up, so their partial
+	// footprints are the least valuable.
+	LIFE
+	// LFU evicts blocks of the least frequently accessed file.
+	LFU
+)
+
+// String names the policy.
+func (p EvictPolicy) String() string {
+	switch p {
+	case LIFE:
+		return "LIFE"
+	case LFU:
+		return "LFU"
+	}
+	return "LRU"
+}
+
+// entry tracks one cached block.
+type entry struct {
+	block *dfs.Block
+	node  cluster.NodeID
+	uses  int
+	lru   *list.Element
+}
+
+// Cache is a cluster-wide coordinated cache. It watches every block read
+// via the DFS read hook: hits are reads already redirected to a resident
+// replica; misses insert the block at the reading node after the read,
+// evicting per policy when the per-node budget is exceeded.
+type Cache struct {
+	fs       *dfs.FS
+	policy   EvictPolicy
+	perNode  sim.Bytes
+	used     map[cluster.NodeID]sim.Bytes
+	entries  map[dfs.BlockID]*entry
+	lruList  *list.List // front = most recent
+	fileUses map[string]int
+
+	// Stats.
+	Hits, Misses, Insertions, Evictions int
+}
+
+// New attaches a cache to the file system with the given per-node memory
+// budget.
+func New(fs *dfs.FS, perNodeBudget sim.Bytes, policy EvictPolicy) (*Cache, error) {
+	if perNodeBudget <= 0 {
+		return nil, fmt.Errorf("cache: per-node budget must be positive")
+	}
+	c := &Cache{
+		fs:       fs,
+		policy:   policy,
+		perNode:  perNodeBudget,
+		used:     make(map[cluster.NodeID]sim.Bytes),
+		entries:  make(map[dfs.BlockID]*entry),
+		lruList:  list.New(),
+		fileUses: make(map[string]int),
+	}
+	if err := fs.OnRead(c.onRead); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// Policy reports the eviction policy.
+func (c *Cache) Policy() EvictPolicy { return c.policy }
+
+// Resident reports the number of cached blocks.
+func (c *Cache) Resident() int { return len(c.entries) }
+
+// UsedOn reports cached bytes charged to a node.
+func (c *Cache) UsedOn(n cluster.NodeID) sim.Bytes { return c.used[n] }
+
+// onRead observes every block read.
+func (c *Cache) onRead(id dfs.BlockID, at cluster.NodeID) {
+	b := c.fs.Block(id)
+	c.fileUses[b.File]++
+	if e, ok := c.entries[id]; ok {
+		// Validate: another subsystem (e.g. DYRS implicit eviction) may
+		// have dropped the underlying replica.
+		if c.fs.DataNode(e.node).HasMem(id) {
+			c.Hits++
+			e.uses++
+			c.lruList.MoveToFront(e.lru)
+			return
+		}
+		c.remove(e, false)
+	}
+	c.Misses++
+	c.insert(b, at)
+}
+
+// insert caches the block at the reading node, evicting as needed.
+func (c *Cache) insert(b *dfs.Block, at cluster.NodeID) {
+	if b.Size > c.perNode {
+		return // would never fit
+	}
+	for c.used[at]+b.Size > c.perNode {
+		if !c.evictOne(at) {
+			return // nothing evictable on this node
+		}
+	}
+	// If the block is already resident elsewhere (e.g. a DYRS migration
+	// placed it), don't double-cache; count residency only.
+	if _, resident := c.fs.MemReplica(b.ID); resident {
+		return
+	}
+	c.fs.RegisterMem(b.ID, at)
+	e := &entry{block: b, node: at, uses: 1}
+	e.lru = c.lruList.PushFront(e)
+	c.entries[b.ID] = e
+	c.used[at] += b.Size
+	c.Insertions++
+}
+
+// evictOne removes one block from the given node per policy. Reports
+// whether anything was evicted.
+func (c *Cache) evictOne(node cluster.NodeID) bool {
+	var victim *entry
+	switch c.policy {
+	case LRU:
+		for el := c.lruList.Back(); el != nil; el = el.Prev() {
+			e := el.Value.(*entry)
+			if e.node == node {
+				victim = e
+				break
+			}
+		}
+	case LIFE:
+		// Largest cached file on this node loses first.
+		fileBytes := map[string]sim.Bytes{}
+		for _, e := range c.entries {
+			fileBytes[e.block.File] += e.block.Size
+		}
+		var worstFile string
+		var worst sim.Bytes = -1
+		for _, e := range c.entries {
+			if e.node != node {
+				continue
+			}
+			if fb := fileBytes[e.block.File]; fb > worst {
+				worst = fb
+				worstFile = e.block.File
+			}
+		}
+		for _, e := range c.entries {
+			if e.node == node && e.block.File == worstFile {
+				victim = e
+				break
+			}
+		}
+	case LFU:
+		best := int(^uint(0) >> 1)
+		for _, e := range c.entries {
+			if e.node != node {
+				continue
+			}
+			if u := c.fileUses[e.block.File]; u < best {
+				best = u
+				victim = e
+			}
+		}
+	}
+	if victim == nil {
+		return false
+	}
+	c.remove(victim, true)
+	return true
+}
+
+// remove deletes an entry, optionally dropping the replica from the DFS
+// registry (stale entries skip the drop: the replica is already gone).
+func (c *Cache) remove(e *entry, dropReplica bool) {
+	if dropReplica {
+		c.fs.DropMem(e.block.ID, e.node)
+		c.Evictions++
+	}
+	c.lruList.Remove(e.lru)
+	delete(c.entries, e.block.ID)
+	c.used[e.node] -= e.block.Size
+}
+
+// Flush drops every cached block.
+func (c *Cache) Flush() {
+	for _, e := range c.entries {
+		c.fs.DropMem(e.block.ID, e.node)
+		c.lruList.Remove(e.lru)
+		c.used[e.node] -= e.block.Size
+	}
+	c.entries = make(map[dfs.BlockID]*entry)
+}
+
+// HitRate reports hits / (hits + misses).
+func (c *Cache) HitRate() float64 {
+	total := c.Hits + c.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(c.Hits) / float64(total)
+}

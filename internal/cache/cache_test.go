@@ -1,0 +1,206 @@
+package cache
+
+import (
+	"testing"
+	"time"
+
+	"dyrs/internal/cluster"
+	"dyrs/internal/dfs"
+	"dyrs/internal/sim"
+)
+
+func newFS(t *testing.T, seed int64) (*sim.Engine, *dfs.FS) {
+	t.Helper()
+	eng := sim.NewEngine(seed)
+	cl := cluster.New(eng, 4, nil)
+	return eng, dfs.New(cl, dfs.DefaultConfig())
+}
+
+// readAll reads every block of the file from node 0 and runs the engine.
+func readAll(t *testing.T, eng *sim.Engine, fs *dfs.FS, name string) []dfs.ReadResult {
+	t.Helper()
+	f, err := fs.File(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []dfs.ReadResult
+	for _, id := range f.Blocks {
+		if err := fs.ReadBlock(0, id, func(r dfs.ReadResult) { out = append(out, r) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	eng.RunFor(10 * time.Minute)
+	return out
+}
+
+func TestSecondReadHitsCache(t *testing.T) {
+	eng, fs := newFS(t, 1)
+	c, err := New(fs, 8*sim.GB, LRU)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs.CreateFile("hot", 512*sim.MB)
+
+	first := readAll(t, eng, fs, "hot")
+	for _, r := range first {
+		if r.Source.FromMemory() {
+			t.Errorf("first read from memory: %v", r.Source)
+		}
+	}
+	if c.Misses != 2 || c.Insertions != 2 {
+		t.Fatalf("misses=%d insertions=%d", c.Misses, c.Insertions)
+	}
+
+	second := readAll(t, eng, fs, "hot")
+	for _, r := range second {
+		if !r.Source.FromMemory() {
+			t.Errorf("second read not from memory: %v", r.Source)
+		}
+	}
+	if c.Hits != 2 {
+		t.Errorf("hits = %d", c.Hits)
+	}
+	if c.HitRate() != 0.5 {
+		t.Errorf("hit rate = %v", c.HitRate())
+	}
+}
+
+func TestBudgetEviction(t *testing.T) {
+	eng, fs := newFS(t, 2)
+	// Budget of 2 blocks per node; reads all land at node 0.
+	c, err := New(fs, 512*sim.MB, LRU)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs.CreateFile("a", 256*sim.MB)
+	fs.CreateFile("b", 256*sim.MB)
+	fs.CreateFile("c", 256*sim.MB)
+	readAll(t, eng, fs, "a")
+	readAll(t, eng, fs, "b")
+	readAll(t, eng, fs, "c") // evicts "a" (LRU)
+	if c.Evictions != 1 {
+		t.Fatalf("evictions = %d", c.Evictions)
+	}
+	if c.UsedOn(0) != 512*sim.MB {
+		t.Errorf("used = %d", c.UsedOn(0))
+	}
+	// "a" must miss again; "c" must hit.
+	if r := readAll(t, eng, fs, "c"); !r[0].Source.FromMemory() {
+		t.Error("c not cached")
+	}
+	aReads := readAll(t, eng, fs, "a")
+	if aReads[0].Source.FromMemory() {
+		t.Error("evicted block served from memory")
+	}
+}
+
+func TestLIFEEvictsLargestFile(t *testing.T) {
+	eng, fs := newFS(t, 3)
+	c, err := New(fs, 3*256*sim.MB, LIFE)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs.CreateFile("big", 512*sim.MB)  // 2 blocks
+	fs.CreateFile("tiny", 64*sim.MB)  // 1 block
+	fs.CreateFile("tiny2", 64*sim.MB) // 1 block
+	readAll(t, eng, fs, "big")
+	readAll(t, eng, fs, "tiny")
+	readAll(t, eng, fs, "tiny2")
+	// Force an eviction: insert one more 256MB block.
+	fs.CreateFile("extra", 256*sim.MB)
+	readAll(t, eng, fs, "extra")
+	// LIFE should have evicted from "big" (the largest cached file),
+	// keeping the small files intact.
+	if r := readAll(t, eng, fs, "tiny"); !r[0].Source.FromMemory() {
+		t.Error("LIFE evicted a small file's block")
+	}
+	if c.Evictions == 0 {
+		t.Error("no eviction happened")
+	}
+}
+
+func TestLFUEvictsColdFile(t *testing.T) {
+	eng, fs := newFS(t, 4)
+	c, err := New(fs, 2*256*sim.MB, LFU)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs.CreateFile("popular", 256*sim.MB)
+	fs.CreateFile("once", 256*sim.MB)
+	readAll(t, eng, fs, "popular")
+	readAll(t, eng, fs, "popular")
+	readAll(t, eng, fs, "popular")
+	readAll(t, eng, fs, "once")
+	fs.CreateFile("new", 256*sim.MB)
+	readAll(t, eng, fs, "new") // must evict "once", not "popular"
+	if r := readAll(t, eng, fs, "popular"); !r[0].Source.FromMemory() {
+		t.Error("LFU evicted the popular file")
+	}
+	_ = c
+}
+
+func TestOversizeBlockNotCached(t *testing.T) {
+	eng, fs := newFS(t, 5)
+	c, err := New(fs, 100*sim.MB, LRU)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs.CreateFile("big", 256*sim.MB)
+	readAll(t, eng, fs, "big")
+	if c.Resident() != 0 || c.Insertions != 0 {
+		t.Errorf("oversize block cached: resident=%d", c.Resident())
+	}
+}
+
+func TestStaleEntryRevalidated(t *testing.T) {
+	eng, fs := newFS(t, 6)
+	c, err := New(fs, 8*sim.GB, LRU)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, _ := fs.CreateFile("x", 256*sim.MB)
+	readAll(t, eng, fs, "x")
+	// Simulate an external subsystem dropping the replica (DYRS implicit
+	// eviction or a slave restart).
+	loc, _ := fs.MemReplica(f.Blocks[0])
+	fs.DropMem(f.Blocks[0], loc)
+	// The next read must detect staleness, miss, and re-insert.
+	r := readAll(t, eng, fs, "x")
+	if r[0].Source.FromMemory() {
+		t.Error("stale entry served from memory")
+	}
+	if c.Resident() != 1 {
+		t.Errorf("resident = %d after revalidation", c.Resident())
+	}
+	// And the read after that hits again.
+	if r := readAll(t, eng, fs, "x"); !r[0].Source.FromMemory() {
+		t.Error("revalidated entry not served from memory")
+	}
+}
+
+func TestFlush(t *testing.T) {
+	eng, fs := newFS(t, 7)
+	c, _ := New(fs, 8*sim.GB, LRU)
+	fs.CreateFile("x", 512*sim.MB)
+	readAll(t, eng, fs, "x")
+	if c.Resident() != 2 {
+		t.Fatalf("resident = %d", c.Resident())
+	}
+	c.Flush()
+	if c.Resident() != 0 || fs.MemReplicaCount() != 0 || c.UsedOn(0) != 0 {
+		t.Error("flush left state")
+	}
+}
+
+func TestInvalidBudget(t *testing.T) {
+	_, fs := newFS(t, 8)
+	if _, err := New(fs, 0, LRU); err == nil {
+		t.Error("zero budget accepted")
+	}
+}
+
+func TestPolicyString(t *testing.T) {
+	if LRU.String() != "LRU" || LIFE.String() != "LIFE" || LFU.String() != "LFU" {
+		t.Error("policy names wrong")
+	}
+}

@@ -1,0 +1,87 @@
+package cluster
+
+import (
+	"fmt"
+
+	"dyrs/internal/sim"
+)
+
+// Topology assigns nodes to racks and models the cross-rack core switch.
+// By default a cluster is flat: one rack, non-blocking network. Calling
+// ConfigureRacks splits it into racks connected by a shared (typically
+// oversubscribed) core, which cross-rack transfers must traverse.
+type Topology struct {
+	rackOf []int
+	racks  int
+	core   *sim.Resource
+}
+
+// ConfigureRacks partitions the cluster's nodes round-robin into the
+// given number of racks and installs a core switch with the given
+// aggregate cross-rack bandwidth in bytes/sec (0 = non-blocking core).
+func (c *Cluster) ConfigureRacks(racks int, coreBandwidth float64) {
+	if racks <= 0 {
+		panic("cluster: need at least one rack")
+	}
+	t := &Topology{racks: racks, rackOf: make([]int, len(c.nodes))}
+	for i := range c.nodes {
+		t.rackOf[i] = i % racks
+	}
+	if coreBandwidth > 0 {
+		t.core = sim.NewResource(c.eng, "core-switch", coreBandwidth, nil)
+	}
+	c.topo = t
+}
+
+// Racks reports the number of racks (1 for a flat cluster).
+func (c *Cluster) Racks() int {
+	if c.topo == nil {
+		return 1
+	}
+	return c.topo.racks
+}
+
+// Rack reports the rack a node lives in.
+func (c *Cluster) Rack(id NodeID) int {
+	if c.topo == nil {
+		return 0
+	}
+	return c.topo.rackOf[int(id)]
+}
+
+// SameRack reports whether two nodes share a rack.
+func (c *Cluster) SameRack(a, b NodeID) bool {
+	return c.Rack(a) == c.Rack(b)
+}
+
+// Core returns the core-switch resource, or nil when the core is
+// non-blocking (flat cluster or coreBandwidth 0).
+func (c *Cluster) Core() *sim.Resource {
+	if c.topo == nil {
+		return nil
+	}
+	return c.topo.core
+}
+
+// NodesInRack returns the ids of nodes in the given rack.
+func (c *Cluster) NodesInRack(rack int) []NodeID {
+	var out []NodeID
+	for _, n := range c.nodes {
+		if c.Rack(n.ID) == rack {
+			out = append(out, n.ID)
+		}
+	}
+	return out
+}
+
+// String describes the topology.
+func (t *Topology) String() string {
+	if t == nil {
+		return "flat"
+	}
+	core := "non-blocking core"
+	if t.core != nil {
+		core = fmt.Sprintf("core %s/s", sim.FormatBytes(sim.Bytes(t.core.Capacity())))
+	}
+	return fmt.Sprintf("%d racks, %s", t.racks, core)
+}

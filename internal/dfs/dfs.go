@@ -1,0 +1,763 @@
+// Package dfs implements the big-data file system substrate: an HDFS-like
+// master-slave file system with a NameNode block catalog, DataNodes that
+// serve block reads from disk or from an in-memory buffer, 3-way replica
+// placement, and the read-redirection hook DYRS uses to steer reads to
+// in-memory replicas (paper §III, §IV).
+package dfs
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"dyrs/internal/cluster"
+	"dyrs/internal/sim"
+)
+
+// BlockID identifies a block in the file system.
+type BlockID int
+
+// Tier is the storage medium holding a file's blocks.
+type Tier int
+
+// Storage tiers, slowest first.
+const (
+	TierDisk Tier = iota
+	TierSSD
+)
+
+// String names the tier.
+func (t Tier) String() string {
+	if t == TierSSD {
+		return "ssd"
+	}
+	return "disk"
+}
+
+// Block is one fixed-size chunk of a file, replicated on several nodes.
+type Block struct {
+	ID       BlockID
+	File     string
+	Index    int // position within the file
+	Size     sim.Bytes
+	Tier     Tier
+	Replicas []cluster.NodeID // replica locations, immutable after placement
+}
+
+// File is a named sequence of blocks.
+type File struct {
+	Name   string
+	Size   sim.Bytes
+	Blocks []BlockID
+}
+
+// Config holds file-system parameters.
+type Config struct {
+	// BlockSize is the maximum block size (HDFS default in the paper's
+	// era: 256 MB for large inputs).
+	BlockSize sim.Bytes
+	// Replication is the number of disk replicas per block.
+	Replication int
+	// ReadLatency is the fixed per-read setup latency (RPC + open).
+	ReadLatency sim.Duration
+}
+
+// DefaultConfig returns the configuration used throughout the paper's
+// evaluation: 256 MB blocks, 3-way replication.
+func DefaultConfig() Config {
+	return Config{
+		BlockSize:   256 * sim.MB,
+		Replication: 3,
+		ReadLatency: 2 * sim.Duration(1e6), // 2ms
+	}
+}
+
+// ReadSource describes where a block read was served from.
+type ReadSource int
+
+// Read sources, fastest last.
+const (
+	SourceDiskLocal ReadSource = iota
+	SourceDiskRemote
+	SourceMemLocal
+	SourceMemRemote
+)
+
+// String names the read source.
+func (s ReadSource) String() string {
+	switch s {
+	case SourceDiskLocal:
+		return "disk-local"
+	case SourceDiskRemote:
+		return "disk-remote"
+	case SourceMemLocal:
+		return "mem-local"
+	case SourceMemRemote:
+		return "mem-remote"
+	}
+	return "unknown"
+}
+
+// FromMemory reports whether the source is an in-memory replica.
+func (s ReadSource) FromMemory() bool {
+	return s == SourceMemLocal || s == SourceMemRemote
+}
+
+// ReadResult describes a completed block read.
+type ReadResult struct {
+	Block    BlockID
+	Source   ReadSource
+	Server   cluster.NodeID // node that served the bytes
+	Started  sim.Time
+	Finished sim.Time
+	// Failed is set when every replica became unreachable before the
+	// read could be served (only possible mid-failover; the initial
+	// call reports ErrNoReplica synchronously instead).
+	Failed bool
+}
+
+// Duration reports how long the read took.
+func (r ReadResult) Duration() sim.Duration { return r.Finished.Sub(r.Started) }
+
+// DataNode is the per-node storage server: it owns the node's disk for
+// block reads and tracks which blocks are resident in its memory buffer.
+type DataNode struct {
+	fs   *FS
+	node *cluster.Node
+
+	memBlocks map[BlockID]sim.Bytes
+	memUsed   sim.Bytes
+
+	// Counters for the evaluation (Fig. 8 counts reads per DataNode).
+	DiskReads     int
+	MemReads      int
+	RemoteServes  int
+	BlocksWritten int
+}
+
+// Node returns the underlying cluster node.
+func (dn *DataNode) Node() *cluster.Node { return dn.node }
+
+// MemUsed reports bytes of migrated blocks currently buffered.
+func (dn *DataNode) MemUsed() sim.Bytes { return dn.memUsed }
+
+// HasMem reports whether the block is resident in this node's buffer.
+func (dn *DataNode) HasMem(b BlockID) bool {
+	_, ok := dn.memBlocks[b]
+	return ok
+}
+
+// MemBlockCount reports how many blocks are buffered.
+func (dn *DataNode) MemBlockCount() int { return len(dn.memBlocks) }
+
+// FS is the simulated distributed file system. The NameNode role (file
+// and block catalog, replica lookup, in-memory replica registry) is
+// implemented directly on FS; DataNodes hold per-node state.
+type FS struct {
+	eng *sim.Engine
+	cl  *cluster.Cluster
+	cfg Config
+	rng *rand.Rand
+
+	files  map[string]*File
+	blocks []*Block
+	dns    []*DataNode
+
+	// mem is the NameNode-side registry of in-memory replicas, updated by
+	// the migration layer; reads consult it to redirect to memory.
+	mem map[BlockID]cluster.NodeID
+
+	readHooks []readHook
+
+	// liveness, when enabled, replaces oracle liveness with the
+	// NameNode's heartbeat-based (stale) view; failedOvers counts reads
+	// that retried after hitting an unreachable node (§III-C2).
+	liveness    *liveness
+	failedOvers int
+
+	placeCursor int // rotates placement start for balance
+}
+
+// New creates a file system over the cluster.
+func New(cl *cluster.Cluster, cfg Config) *FS {
+	if cfg.BlockSize <= 0 || cfg.Replication <= 0 {
+		panic("dfs: invalid config")
+	}
+	if cfg.Replication > cl.Size() {
+		panic(fmt.Sprintf("dfs: replication %d exceeds cluster size %d", cfg.Replication, cl.Size()))
+	}
+	eng := cl.Engine()
+	fs := &FS{
+		eng:   eng,
+		cl:    cl,
+		cfg:   cfg,
+		rng:   rand.New(rand.NewSource(eng.Rand().Int63())),
+		files: make(map[string]*File),
+		mem:   make(map[BlockID]cluster.NodeID),
+	}
+	for _, n := range cl.Nodes() {
+		fs.dns = append(fs.dns, &DataNode{
+			fs:        fs,
+			node:      n,
+			memBlocks: make(map[BlockID]sim.Bytes),
+		})
+	}
+	return fs
+}
+
+// Config returns the file system configuration.
+func (fs *FS) Config() Config { return fs.cfg }
+
+// Cluster returns the underlying cluster.
+func (fs *FS) Cluster() *cluster.Cluster { return fs.cl }
+
+// DataNode returns the DataNode on the given cluster node.
+func (fs *FS) DataNode(id cluster.NodeID) *DataNode { return fs.dns[int(id)] }
+
+// errors returned by catalog operations.
+var (
+	ErrFileExists   = errors.New("dfs: file already exists")
+	ErrFileNotFound = errors.New("dfs: file not found")
+	ErrNoReplica    = errors.New("dfs: no live replica")
+)
+
+// CreateFile registers a file of the given size on the disk tier, splits
+// it into blocks and places replicas. Placement mimics HDFS default:
+// replicas land on distinct nodes chosen pseudo-randomly, rotating the
+// starting node so data spreads evenly.
+func (fs *FS) CreateFile(name string, size sim.Bytes) (*File, error) {
+	return fs.CreateFileOnTier(name, size, TierDisk)
+}
+
+// CreateFileOnTier registers a file whose blocks live on the given
+// storage tier (disk or SSD).
+func (fs *FS) CreateFileOnTier(name string, size sim.Bytes, tier Tier) (*File, error) {
+	if _, ok := fs.files[name]; ok {
+		return nil, ErrFileExists
+	}
+	if size <= 0 {
+		return nil, errors.New("dfs: file size must be positive")
+	}
+	f := &File{Name: name, Size: size}
+	remaining := size
+	idx := 0
+	for remaining > 0 {
+		bs := fs.cfg.BlockSize
+		if remaining < bs {
+			bs = remaining
+		}
+		b := &Block{
+			ID:       BlockID(len(fs.blocks)),
+			File:     name,
+			Index:    idx,
+			Size:     bs,
+			Tier:     tier,
+			Replicas: fs.placeReplicas(),
+		}
+		fs.blocks = append(fs.blocks, b)
+		f.Blocks = append(f.Blocks, b.ID)
+		remaining -= bs
+		idx++
+	}
+	fs.files[name] = f
+	return f, nil
+}
+
+// placeReplicas chooses Replication distinct nodes. The first replica
+// rotates around the cluster (even spread, like writers spread across
+// nodes). On a flat cluster the rest are random; on a racked cluster
+// placement follows the HDFS default policy: the second replica goes to
+// a different rack than the first, the third to the second replica's
+// rack, and any further replicas land randomly.
+func (fs *FS) placeReplicas() []cluster.NodeID {
+	n := fs.cl.Size()
+	first := cluster.NodeID(fs.placeCursor % n)
+	fs.placeCursor++
+	chosen := []cluster.NodeID{first}
+	taken := map[cluster.NodeID]bool{first: true}
+
+	pick := func(accept func(cluster.NodeID) bool) bool {
+		perm := fs.rng.Perm(n)
+		for _, p := range perm {
+			id := cluster.NodeID(p)
+			if taken[id] || !accept(id) {
+				continue
+			}
+			chosen = append(chosen, id)
+			taken[id] = true
+			return true
+		}
+		return false
+	}
+	any := func(cluster.NodeID) bool { return true }
+
+	if fs.cl.Racks() > 1 {
+		if len(chosen) < fs.cfg.Replication {
+			// Second replica: off the first replica's rack.
+			if !pick(func(id cluster.NodeID) bool { return !fs.cl.SameRack(id, first) }) {
+				pick(any)
+			}
+		}
+		if len(chosen) < fs.cfg.Replication && len(chosen) >= 2 {
+			// Third replica: same rack as the second.
+			second := chosen[1]
+			if !pick(func(id cluster.NodeID) bool { return fs.cl.SameRack(id, second) }) {
+				pick(any)
+			}
+		}
+	}
+	for len(chosen) < fs.cfg.Replication {
+		if !pick(any) {
+			break
+		}
+	}
+	return chosen
+}
+
+// File looks up a file by name.
+func (fs *FS) File(name string) (*File, error) {
+	f, ok := fs.files[name]
+	if !ok {
+		return nil, ErrFileNotFound
+	}
+	return f, nil
+}
+
+// FileBlocks maps a list of file names to their blocks, in file order —
+// the operation the DYRS master performs when it receives a migration
+// request for a job's input files.
+func (fs *FS) FileBlocks(names []string) ([]*Block, error) {
+	var out []*Block
+	for _, name := range names {
+		f, err := fs.File(name)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %s", err, name)
+		}
+		for _, id := range f.Blocks {
+			out = append(out, fs.blocks[int(id)])
+		}
+	}
+	return out, nil
+}
+
+// Block returns the block with the given id.
+func (fs *FS) Block(id BlockID) *Block { return fs.blocks[int(id)] }
+
+// NumBlocks reports the total number of blocks in the catalog.
+func (fs *FS) NumBlocks() int { return len(fs.blocks) }
+
+// Replicas returns the block's replica locations on nodes the NameNode
+// considers available. With heartbeat liveness enabled this view can be
+// stale: a freshly dead node is still offered until its heartbeats have
+// been missed (§III-C2).
+func (fs *FS) Replicas(id BlockID) []cluster.NodeID {
+	var out []cluster.NodeID
+	for _, r := range fs.blocks[int(id)].Replicas {
+		if fs.nodeAvailable(r) {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// MemReplica reports the node holding an in-memory replica of the block,
+// if the NameNode considers that node available.
+func (fs *FS) MemReplica(id BlockID) (cluster.NodeID, bool) {
+	n, ok := fs.mem[id]
+	if !ok || !fs.nodeAvailable(n) {
+		return 0, false
+	}
+	return n, true
+}
+
+// RegisterMem records that node holds an in-memory replica of the block
+// and charges the bytes to the DataNode's buffer accounting. Called by
+// the migration slave when a migration completes.
+func (fs *FS) RegisterMem(id BlockID, node cluster.NodeID) {
+	dn := fs.dns[int(node)]
+	if _, ok := dn.memBlocks[id]; ok {
+		return
+	}
+	size := fs.blocks[int(id)].Size
+	dn.memBlocks[id] = size
+	dn.memUsed += size
+	fs.mem[id] = node
+}
+
+// DropMem removes the in-memory replica of a block from a node.
+func (fs *FS) DropMem(id BlockID, node cluster.NodeID) {
+	dn := fs.dns[int(node)]
+	size, ok := dn.memBlocks[id]
+	if !ok {
+		return
+	}
+	delete(dn.memBlocks, id)
+	dn.memUsed -= size
+	if fs.mem[id] == node {
+		delete(fs.mem, id)
+	}
+}
+
+// DropAllMem clears every buffered block on a node — what happens when a
+// DYRS slave process dies and the OS reclaims its locked memory.
+func (fs *FS) DropAllMem(node cluster.NodeID) {
+	dn := fs.dns[int(node)]
+	for id := range dn.memBlocks {
+		if fs.mem[id] == node {
+			delete(fs.mem, id)
+		}
+	}
+	dn.memBlocks = make(map[BlockID]sim.Bytes)
+	dn.memUsed = 0
+}
+
+// MemReplicaCount reports the number of blocks with an in-memory replica.
+func (fs *FS) MemReplicaCount() int { return len(fs.mem) }
+
+// TotalMemUsed reports buffered bytes across all nodes.
+func (fs *FS) TotalMemUsed() sim.Bytes {
+	var total sim.Bytes
+	for _, dn := range fs.dns {
+		total += dn.memUsed
+	}
+	return total
+}
+
+// ReadBlock reads a block on behalf of a task running at node `at`.
+// The read is redirected to an in-memory replica when one exists (local or
+// remote, per §III: "reads will be directed to the in-memory replica
+// whether it is local or remote"); otherwise it is served from a disk
+// replica, preferring a local one. done receives the result.
+//
+// onRead, if non-nil, is invoked synchronously with the chosen result
+// metadata before the transfer begins; the migration layer uses it for
+// implicit eviction.
+func (fs *FS) ReadBlock(at cluster.NodeID, id BlockID, done func(ReadResult)) error {
+	return fs.readAttempt(at, id, fs.eng.Now(), nil, done, true)
+}
+
+// readAttempt is one try at serving the read; on hitting a node that is
+// actually down (but still offered by the stale NameNode view), it pays
+// the connect timeout and retries with that node excluded — the client
+// fail-over of §III-C2.
+func (fs *FS) readAttempt(at cluster.NodeID, id BlockID, start sim.Time,
+	exclude map[cluster.NodeID]bool, done func(ReadResult), first bool) error {
+	b := fs.blocks[int(id)]
+
+	finish := func(src ReadSource, server cluster.NodeID) {
+		res := ReadResult{Block: id, Source: src, Server: server, Started: start, Finished: fs.eng.Now()}
+		if done != nil {
+			done(res)
+		}
+	}
+	failover := func(server cluster.NodeID) {
+		timeout := time.Second
+		if fs.liveness != nil {
+			timeout = fs.liveness.cfg.ConnectTimeout
+		}
+		fs.eng.Schedule(timeout, func() {
+			fs.failedOvers++
+			ex := exclude
+			if ex == nil {
+				ex = make(map[cluster.NodeID]bool)
+			}
+			ex[server] = true
+			fs.readAttempt(at, id, start, ex, done, false)
+		})
+	}
+
+	if memNode, ok := fs.MemReplica(id); ok && !exclude[memNode] {
+		if first {
+			fs.notifyRead(id, at)
+		}
+		if !fs.cl.Node(memNode).Alive() {
+			failover(memNode)
+			return nil
+		}
+		dn := fs.dns[int(memNode)]
+		dn.MemReads++
+		if memNode == at {
+			fs.eng.Schedule(fs.cfg.ReadLatency, func() {
+				dn.node.Mem.Start(b.Size, func(*sim.Flow) { finish(SourceMemLocal, memNode) })
+			})
+		} else {
+			dn.RemoteServes++
+			legs := fs.transferLegs(dn.node.NIC, at, memNode)
+			fs.eng.Schedule(fs.cfg.ReadLatency, func() {
+				fs.startTransfer(legs, b.Size, func() { finish(SourceMemRemote, memNode) })
+			})
+		}
+		return nil
+	}
+
+	var replicas []cluster.NodeID
+	for _, r := range fs.Replicas(id) {
+		if !exclude[r] {
+			replicas = append(replicas, r)
+		}
+	}
+	if len(replicas) == 0 {
+		if first {
+			return ErrNoReplica
+		}
+		if done != nil {
+			done(ReadResult{Block: id, Failed: true, Started: start, Finished: fs.eng.Now()})
+		}
+		return ErrNoReplica
+	}
+	server := replicas[0]
+	local := false
+	for _, r := range replicas {
+		if r == at {
+			server = r
+			local = true
+			break
+		}
+	}
+	if !local {
+		server = fs.pickRemoteReplica(at, replicas)
+	}
+	if first {
+		fs.notifyRead(id, at)
+	}
+	if !fs.cl.Node(server).Alive() {
+		failover(server)
+		return nil
+	}
+	dn := fs.dns[int(server)]
+	dn.DiskReads++
+	src := SourceDiskLocal
+	if !local {
+		src = SourceDiskRemote
+		dn.RemoteServes++
+	}
+	res := dn.node.Disk
+	if b.Tier == TierSSD {
+		res = dn.node.SSD
+	}
+	legs := []*sim.Resource{res}
+	if !local {
+		legs = fs.transferLegs(res, at, server)
+	}
+	fs.eng.Schedule(fs.cfg.ReadLatency, func() {
+		fs.startTransfer(legs, b.Size, func() { finish(src, server) })
+	})
+	return nil
+}
+
+// pickRemoteReplica chooses the replica to read from when none is local:
+// a random same-rack replica when one exists (HDFS sorts replicas by
+// network distance), otherwise a random replica.
+func (fs *FS) pickRemoteReplica(at cluster.NodeID, replicas []cluster.NodeID) cluster.NodeID {
+	if fs.cl.Racks() > 1 {
+		var sameRack []cluster.NodeID
+		for _, r := range replicas {
+			if fs.cl.SameRack(at, r) {
+				sameRack = append(sameRack, r)
+			}
+		}
+		if len(sameRack) > 0 {
+			return sameRack[fs.rng.Intn(len(sameRack))]
+		}
+	}
+	return replicas[fs.rng.Intn(len(replicas))]
+}
+
+// transferLegs lists the resources a remote transfer from server to
+// reader traverses: the serving device plus, when the nodes are on
+// different racks and the core is modeled, the core switch.
+func (fs *FS) transferLegs(serving *sim.Resource, at, server cluster.NodeID) []*sim.Resource {
+	legs := []*sim.Resource{serving}
+	if !fs.cl.SameRack(at, server) {
+		if core := fs.cl.Core(); core != nil {
+			legs = append(legs, core)
+		}
+	}
+	return legs
+}
+
+// startTransfer moves size bytes through every leg in parallel; done
+// runs when the slowest leg finishes. This models a path of independent
+// bottlenecks conservatively without coupled-rate bookkeeping.
+func (fs *FS) startTransfer(legs []*sim.Resource, size sim.Bytes, done func()) {
+	pending := len(legs)
+	for _, leg := range legs {
+		leg.Start(size, func(*sim.Flow) {
+			pending--
+			if pending == 0 {
+				done()
+			}
+		})
+	}
+}
+
+// readHook is invoked on every block read; the migration slave registers
+// one to implement implicit eviction (§III-C3).
+type readHook func(id BlockID, at cluster.NodeID)
+
+var errNilHook = errors.New("dfs: nil read hook")
+
+// hooks registered by the migration layer.
+func (fs *FS) notifyRead(id BlockID, at cluster.NodeID) {
+	for _, h := range fs.readHooks {
+		h(id, at)
+	}
+}
+
+// OnRead registers fn to be called at the start of every block read.
+func (fs *FS) OnRead(fn func(id BlockID, at cluster.NodeID)) error {
+	if fn == nil {
+		return errNilHook
+	}
+	fs.readHooks = append(fs.readHooks, fn)
+	return nil
+}
+
+// MigrateToMemory performs the slave-side migration mechanics: read the
+// block from this node's disk (the mmap+mlock path in the paper) and, on
+// completion, register the in-memory replica. The returned flow lets the
+// caller observe progress or cancel. The DataNode must hold a disk
+// replica of the block.
+//
+// weight is the migration stream's IO fair-share weight relative to
+// foreground reads (weight 1). Migration runs at background priority so
+// it consumes residual bandwidth: the full disk when idle, next to
+// nothing when foreground reads saturate it.
+func (dn *DataNode) MigrateToMemory(id BlockID, weight float64, done func(sim.Duration)) (*sim.Flow, error) {
+	b := dn.fs.blocks[int(id)]
+	holds := false
+	for _, r := range b.Replicas {
+		if r == dn.node.ID {
+			holds = true
+			break
+		}
+	}
+	if !holds {
+		return nil, fmt.Errorf("dfs: node %v holds no replica of block %d", dn.node.ID, id)
+	}
+	if weight <= 0 {
+		weight = 1
+	}
+	start := dn.fs.eng.Now()
+	dn.DiskReads++
+	res := dn.node.Disk
+	if b.Tier == TierSSD {
+		res = dn.node.SSD
+	}
+	f := res.StartWeighted(b.Size, weight, func(*sim.Flow) {
+		dn.fs.RegisterMem(id, dn.node.ID)
+		if done != nil {
+			done(dn.fs.eng.Now().Sub(start))
+		}
+	})
+	return f, nil
+}
+
+// WriteBlocks writes `size` bytes of job output originating at node `at`,
+// split into blocks, with the given replication (jobs often write output
+// with replication 1 in sort benchmarks). done runs when all block
+// writes complete.
+//
+// The write path models the HDFS replication pipeline: the first replica
+// lands on the writer's local disk; each additional replica streams
+// through the downstream node's NIC onto its disk (and through the core
+// switch when the hop crosses racks). A block write completes when the
+// slowest pipeline leg finishes.
+func (fs *FS) WriteBlocks(at cluster.NodeID, size sim.Bytes, replication int, done func()) {
+	if size <= 0 {
+		if done != nil {
+			fs.eng.Schedule(0, done)
+		}
+		return
+	}
+	if replication <= 0 {
+		replication = 1
+	}
+	nBlocks := int((size + fs.cfg.BlockSize - 1) / fs.cfg.BlockSize)
+	pending := 0
+	finish := func() {
+		pending--
+		if pending == 0 && done != nil {
+			done()
+		}
+	}
+	remaining := size
+	for i := 0; i < nBlocks; i++ {
+		bs := fs.cfg.BlockSize
+		if remaining < bs {
+			bs = remaining
+		}
+		remaining -= bs
+		targets := fs.writeTargets(at, replication)
+		var legs []*sim.Resource
+		prev := at
+		for _, tgt := range targets {
+			node := fs.dns[int(tgt)].node
+			if tgt != prev {
+				// Pipeline hop: downstream NIC, plus the core when the
+				// hop crosses racks.
+				legs = append(legs, node.NIC)
+				if !fs.cl.SameRack(prev, tgt) {
+					if core := fs.cl.Core(); core != nil {
+						legs = append(legs, core)
+					}
+				}
+			}
+			legs = append(legs, node.Disk)
+			fs.dns[int(tgt)].BlocksWritten++
+			prev = tgt
+		}
+		pending++
+		fs.startTransfer(legs, bs, finish)
+	}
+	if pending == 0 && done != nil {
+		fs.eng.Schedule(0, done)
+	}
+}
+
+func (fs *FS) writeTargets(at cluster.NodeID, replication int) []cluster.NodeID {
+	targets := []cluster.NodeID{at}
+	if !fs.cl.Node(at).Alive() {
+		targets = nil
+	}
+	alive := fs.cl.AliveNodes()
+	perm := fs.rng.Perm(len(alive))
+	for _, p := range perm {
+		if len(targets) >= replication {
+			break
+		}
+		id := alive[p]
+		if id == at {
+			continue
+		}
+		targets = append(targets, id)
+	}
+	return targets
+}
+
+// ReadCounts returns per-node counts of disk reads served, in node order —
+// the data behind Fig. 8.
+func (fs *FS) ReadCounts() []int {
+	out := make([]int, len(fs.dns))
+	for i, dn := range fs.dns {
+		out[i] = dn.DiskReads
+	}
+	return out
+}
+
+// SortedBlockIDs returns all block ids of the named files sorted by file
+// order; convenience for tests.
+func (fs *FS) SortedBlockIDs(names []string) []BlockID {
+	blocks, err := fs.FileBlocks(names)
+	if err != nil {
+		return nil
+	}
+	ids := make([]BlockID, len(blocks))
+	for i, b := range blocks {
+		ids[i] = b.ID
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}

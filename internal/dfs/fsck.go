@@ -1,0 +1,95 @@
+package dfs
+
+import (
+	"fmt"
+
+	"dyrs/internal/sim"
+)
+
+// Fsck walks the file system's internal state and reports invariant
+// violations. It is used by failure-injection tests to prove that
+// crashes, restarts and evictions never corrupt the catalog or the
+// memory accounting.
+//
+// Invariants checked:
+//  1. Every file's blocks exist, belong to it, and are indexed densely.
+//  2. Every block has between 1 and Replication replicas, all distinct.
+//  3. The in-memory replica registry points at nodes that actually hold
+//     the block in their buffer.
+//  4. Per-DataNode buffered-byte accounting equals the sum of resident
+//     block sizes, and no node exceeds its memory capacity.
+//  5. Every buffered block is also a disk-replica holder's block (memory
+//     replicas are created by migrating a local disk replica).
+func (fs *FS) Fsck() []error {
+	var errs []error
+	report := func(format string, args ...any) {
+		errs = append(errs, fmt.Errorf(format, args...))
+	}
+
+	// 1-2: catalog structure.
+	for name, f := range fs.files {
+		var total sim.Bytes
+		for i, id := range f.Blocks {
+			if int(id) >= len(fs.blocks) {
+				report("file %s references unknown block %d", name, id)
+				continue
+			}
+			b := fs.blocks[int(id)]
+			if b.File != name {
+				report("block %d claims file %s, referenced by %s", id, b.File, name)
+			}
+			if b.Index != i {
+				report("block %d of %s has index %d, want %d", id, name, b.Index, i)
+			}
+			if len(b.Replicas) == 0 || len(b.Replicas) > fs.cfg.Replication {
+				report("block %d has %d replicas", id, len(b.Replicas))
+			}
+			seen := map[int]bool{}
+			for _, r := range b.Replicas {
+				if seen[int(r)] {
+					report("block %d has duplicate replica on %v", id, r)
+				}
+				seen[int(r)] = true
+			}
+			total += b.Size
+		}
+		if total != f.Size {
+			report("file %s block sizes sum to %d, want %d", name, total, f.Size)
+		}
+	}
+
+	// 3: registry consistency.
+	for id, node := range fs.mem {
+		if !fs.dns[int(node)].HasMem(id) {
+			report("registry says block %d is on %v, but the DataNode does not hold it", id, node)
+		}
+	}
+
+	// 4-5: per-node accounting.
+	for _, dn := range fs.dns {
+		var sum sim.Bytes
+		for id, size := range dn.memBlocks {
+			b := fs.blocks[int(id)]
+			if b.Size != size {
+				report("node %v charges block %d at %d bytes, want %d", dn.node.ID, id, size, b.Size)
+			}
+			sum += size
+			holds := false
+			for _, r := range b.Replicas {
+				if r == dn.node.ID {
+					holds = true
+				}
+			}
+			if !holds {
+				report("node %v buffers block %d without holding a disk replica", dn.node.ID, id)
+			}
+		}
+		if sum != dn.memUsed {
+			report("node %v accounting: used=%d, blocks sum to %d", dn.node.ID, dn.memUsed, sum)
+		}
+		if dn.memUsed < 0 {
+			report("node %v has negative buffered bytes: %d", dn.node.ID, dn.memUsed)
+		}
+	}
+	return errs
+}

@@ -1,0 +1,92 @@
+package dfs
+
+import (
+	"time"
+
+	"dyrs/internal/cluster"
+	"dyrs/internal/sim"
+)
+
+// Heartbeat-based liveness (§III-C2): "A node is marked as unavailable
+// when the file system misses several consecutive heartbeats from it. If
+// a read occurs before the node is marked as unavailable the client can
+// fail-over to one of the available replicas."
+//
+// Without a liveness tracker the FS consults cluster.Node.Alive()
+// directly — an oracle. EnableHeartbeats replaces the oracle with the
+// NameNode's (deliberately stale) view: a dead node keeps being offered
+// as a replica until its heartbeats have been missed, and reads routed
+// to it pay a connect timeout before failing over.
+
+// LivenessConfig tunes the heartbeat tracker.
+type LivenessConfig struct {
+	// Interval is the DataNode heartbeat period.
+	Interval time.Duration
+	// MissedBeats is how many consecutive misses mark a node dead.
+	MissedBeats int
+	// ConnectTimeout is what a client pays before failing over from an
+	// unreachable-but-not-yet-marked node.
+	ConnectTimeout time.Duration
+}
+
+// DefaultLivenessConfig mirrors HDFS-era settings scaled down: 3s
+// heartbeats, 3 missed beats to declare death, 1s connect timeout.
+func DefaultLivenessConfig() LivenessConfig {
+	return LivenessConfig{
+		Interval:       3 * time.Second,
+		MissedBeats:    3,
+		ConnectTimeout: time.Second,
+	}
+}
+
+// liveness is the NameNode-side tracker.
+type liveness struct {
+	cfg      LivenessConfig
+	lastSeen []sim.Time
+	ticker   *sim.Ticker
+}
+
+// EnableHeartbeats starts heartbeat-based liveness tracking. Call once,
+// before failures are injected.
+func (fs *FS) EnableHeartbeats(cfg LivenessConfig) {
+	if cfg.Interval <= 0 || cfg.MissedBeats <= 0 {
+		panic("dfs: invalid liveness config")
+	}
+	lv := &liveness{cfg: cfg, lastSeen: make([]sim.Time, fs.cl.Size())}
+	now := fs.eng.Now()
+	for i := range lv.lastSeen {
+		lv.lastSeen[i] = now
+	}
+	lv.ticker = sim.NewTicker(fs.eng, cfg.Interval, func() {
+		for _, n := range fs.cl.Nodes() {
+			if n.Alive() {
+				lv.lastSeen[int(n.ID)] = fs.eng.Now()
+			}
+		}
+	})
+	fs.liveness = lv
+}
+
+// DisableHeartbeats stops the tracker and reverts to oracle liveness.
+func (fs *FS) DisableHeartbeats() {
+	if fs.liveness != nil {
+		fs.liveness.ticker.Stop()
+		fs.liveness = nil
+	}
+}
+
+// nodeAvailable reports the NameNode's view of a node: the ground truth
+// when heartbeats are disabled, the possibly-stale heartbeat view when
+// enabled.
+func (fs *FS) nodeAvailable(id cluster.NodeID) bool {
+	if fs.liveness == nil {
+		return fs.cl.Node(id).Alive()
+	}
+	lv := fs.liveness
+	deadline := sim.Duration(lv.cfg.MissedBeats) * lv.cfg.Interval
+	return fs.eng.Now().Sub(lv.lastSeen[int(id)]) < deadline+lv.cfg.Interval
+}
+
+// FailedOvers counts reads that hit an unreachable node during the
+// stale window and retried elsewhere.
+func (fs *FS) FailedOvers() int { return fs.failedOvers }

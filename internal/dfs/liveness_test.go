@@ -1,0 +1,124 @@
+package dfs
+
+import (
+	"testing"
+	"time"
+
+	"dyrs/internal/cluster"
+	"dyrs/internal/sim"
+)
+
+func TestHeartbeatStaleViewAndFailover(t *testing.T) {
+	eng, cl, fs := newTestFS(t, 5, 60)
+	fs.EnableHeartbeats(DefaultLivenessConfig())
+	defer fs.DisableHeartbeats()
+	f, _ := fs.CreateFile("in", 256*sim.MB)
+	b := fs.Block(f.Blocks[0])
+	victim := b.Replicas[0]
+
+	eng.RunUntil(sim.Time(10 * time.Second))
+	cl.KillNode(victim)
+
+	// Immediately after the crash the NameNode still offers the victim.
+	offered := false
+	for _, r := range fs.Replicas(b.ID) {
+		if r == victim {
+			offered = true
+		}
+	}
+	if !offered {
+		t.Fatal("stale view dropped the dead node instantly")
+	}
+
+	// A read placed at the dead node fails over to a live replica and
+	// still completes, paying the connect timeout (§III-C2).
+	var res ReadResult
+	if err := fs.ReadBlock(victim, b.ID, func(r ReadResult) { res = r }); err != nil {
+		t.Fatal(err)
+	}
+	eng.RunUntil(sim.Time(2 * time.Minute))
+	if res.Failed {
+		t.Fatal("read failed despite live replicas")
+	}
+	if res.Server == victim {
+		t.Errorf("read served by the dead node %v", res.Server)
+	}
+	if fs.FailedOvers() == 0 {
+		t.Error("no failover counted")
+	}
+	// The read paid at least the connect timeout on top of the ~2s read.
+	if d := res.Duration().Seconds(); d < 2.5 {
+		t.Errorf("failover read took only %.1fs; connect timeout not charged", d)
+	}
+
+	// After the missed-beat window the NameNode marks the node dead and
+	// stops offering it.
+	eng.RunUntil(sim.Time(5 * time.Minute))
+	for _, r := range fs.Replicas(b.ID) {
+		if r == victim {
+			t.Error("dead node still offered after missed heartbeats")
+		}
+	}
+}
+
+func TestHeartbeatMemReplicaFailover(t *testing.T) {
+	eng, cl, fs := newTestFS(t, 5, 61)
+	fs.EnableHeartbeats(DefaultLivenessConfig())
+	defer fs.DisableHeartbeats()
+	f, _ := fs.CreateFile("in", 256*sim.MB)
+	b := fs.Block(f.Blocks[0])
+	memNode := b.Replicas[0]
+	fs.RegisterMem(b.ID, memNode)
+	eng.RunUntil(sim.Time(5 * time.Second))
+	cl.KillNode(memNode)
+
+	// A read right after the crash is directed to the (stale) memory
+	// replica, times out, and fails over to a disk replica.
+	reader := (memNode + 1) % 5
+	var res ReadResult
+	if err := fs.ReadBlock(reader, b.ID, func(r ReadResult) { res = r }); err != nil {
+		t.Fatal(err)
+	}
+	eng.RunUntil(sim.Time(2 * time.Minute))
+	if res.Failed {
+		t.Fatal("read failed despite live disk replicas")
+	}
+	if res.Source.FromMemory() {
+		t.Errorf("read claims memory source from a dead node: %v", res.Source)
+	}
+}
+
+func TestAllReplicasDeadMidFailover(t *testing.T) {
+	eng := sim.NewEngine(62)
+	cl := cluster.New(eng, 2, nil)
+	cfg := DefaultConfig()
+	cfg.Replication = 2
+	fs := New(cl, cfg)
+	fs.EnableHeartbeats(DefaultLivenessConfig())
+	defer fs.DisableHeartbeats()
+	f, _ := fs.CreateFile("in", 256*sim.MB)
+	eng.RunUntil(sim.Time(5 * time.Second))
+	cl.KillNode(0)
+	cl.KillNode(1)
+	var res ReadResult
+	got := false
+	// Stale view still offers replicas, so the call succeeds
+	// synchronously; the failure surfaces asynchronously.
+	if err := fs.ReadBlock(0, f.Blocks[0], func(r ReadResult) { res = r; got = true }); err != nil {
+		t.Fatal(err)
+	}
+	eng.RunUntil(sim.Time(5 * time.Minute))
+	if !got || !res.Failed {
+		t.Errorf("expected asynchronous failure, got %+v (delivered=%v)", res, got)
+	}
+}
+
+func TestLivenessConfigValidation(t *testing.T) {
+	_, _, fs := newTestFS(t, 3, 63)
+	defer func() {
+		if recover() == nil {
+			t.Error("invalid liveness config accepted")
+		}
+	}()
+	fs.EnableHeartbeats(LivenessConfig{})
+}

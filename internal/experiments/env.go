@@ -1,0 +1,238 @@
+// Package experiments assembles full simulated environments and runs the
+// paper's evaluation: one entry point per table and figure (Figs. 1-11,
+// Tables I-II), each returning typed rows plus a text rendering that
+// mirrors the published presentation.
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"dyrs/internal/cluster"
+	"dyrs/internal/compute"
+	"dyrs/internal/dfs"
+	"dyrs/internal/migration"
+	"dyrs/internal/sim"
+)
+
+// Policy selects one of the four file-system configurations compared in
+// §V-A, plus the naive balancer used in Fig. 10.
+type Policy string
+
+// The evaluated configurations.
+const (
+	HDFS  Policy = "HDFS"               // default file system, no migration
+	RAM   Policy = "HDFS-Inputs-in-RAM" // inputs pinned in memory (upper bound)
+	Ignem Policy = "Ignem"              // random immediate binding
+	DYRS  Policy = "DYRS"               // the paper's scheme
+	Naive Policy = "Naive"              // DYRS minus straggler avoidance
+)
+
+// AllPolicies lists the four headline configurations in table order.
+var AllPolicies = []Policy{HDFS, RAM, Ignem, DYRS}
+
+// Migrates reports whether the policy runs a migration framework.
+func (p Policy) Migrates() bool { return p == DYRS || p == Ignem || p == Naive }
+
+// Options configures an experiment environment.
+type Options struct {
+	// Workers is the number of storage/compute nodes (the paper's
+	// testbed has 7 workers plus a master).
+	Workers int
+	// Seed drives all randomness; identical seeds give identical runs.
+	Seed int64
+	// SlowNodes maps node index to a disk capacity scale (<1 = slower
+	// hardware). Fixed heterogeneity, as opposed to interference.
+	SlowNodes map[int]float64
+	// NodeConfig optionally overrides the per-node hardware config
+	// before SlowNodes scaling is applied.
+	NodeConfig *cluster.NodeConfig
+	// MigrationConfig optionally overrides migration framework tunables.
+	MigrationConfig *migration.Config
+	// Racks, when >1, partitions the cluster into racks with HDFS-style
+	// rack-aware replica placement; CoreBandwidth is the cross-rack core
+	// switch capacity in bytes/sec (0 = non-blocking).
+	Racks         int
+	CoreBandwidth float64
+}
+
+// DefaultOptions mirrors the paper's 7-worker testbed.
+func DefaultOptions(seed int64) Options {
+	return Options{Workers: 7, Seed: seed}
+}
+
+// Env is one fully wired simulated deployment: engine, cluster, DFS,
+// optional migration framework, and the compute framework.
+type Env struct {
+	Policy Policy
+	Eng    *sim.Engine
+	Cl     *cluster.Cluster
+	FS     *dfs.FS
+	Coord  *migration.Coordinator // nil for HDFS and RAM
+	FW     *compute.Framework
+
+	doneCount  int
+	waitTarget *compute.Job
+	waitCount  int
+}
+
+// NewEnv builds an environment for the given policy.
+func NewEnv(policy Policy, opt Options) *Env {
+	if opt.Workers <= 0 {
+		opt.Workers = 7
+	}
+	eng := sim.NewEngine(opt.Seed)
+	cl := cluster.New(eng, opt.Workers, func(i int) cluster.NodeConfig {
+		cfg := cluster.DefaultNodeConfig()
+		if opt.NodeConfig != nil {
+			cfg = *opt.NodeConfig
+		}
+		if s, ok := opt.SlowNodes[i]; ok {
+			cfg.DiskScale = s
+		}
+		return cfg
+	})
+	if opt.Racks > 1 {
+		cl.ConfigureRacks(opt.Racks, opt.CoreBandwidth)
+	}
+	fsCfg := dfs.DefaultConfig()
+	if fsCfg.Replication > opt.Workers {
+		fsCfg.Replication = opt.Workers
+	}
+	fs := dfs.New(cl, fsCfg)
+
+	var mgr migration.Manager = migration.None{}
+	var coord *migration.Coordinator
+	if policy.Migrates() {
+		mcfg := migration.DefaultConfig()
+		if opt.MigrationConfig != nil {
+			mcfg = *opt.MigrationConfig
+		}
+		var binder migration.Binder
+		switch policy {
+		case DYRS:
+			binder = migration.NewDYRSBinder()
+		case Ignem:
+			binder = migration.NewIgnemBinder()
+			// Ignem binds blindly at submission and never reconsiders —
+			// it has no missed-read handling (§VI), copies at full IO
+			// priority, and mlocks every bound block at once instead of
+			// serializing migrations the way DYRS does (§III-B).
+			mcfg.CancelOnMissedRead = false
+			mcfg.IOWeight = 1.0
+			mcfg.MaxConcurrent = 6
+		case Naive:
+			binder = migration.NewNaiveBinder()
+		}
+		coord = migration.NewCoordinator(fs, mcfg, binder)
+		mgr = coord
+	}
+	fw := compute.New(fs, mgr)
+	if coord != nil {
+		coord.SetScheduler(fw)
+	}
+	e := &Env{Policy: policy, Eng: eng, Cl: cl, FS: fs, Coord: coord, FW: fw}
+	fw.OnJobDone(func(j *compute.Job) {
+		e.doneCount++
+		if (e.waitTarget != nil && j == e.waitTarget) ||
+			(e.waitCount > 0 && e.doneCount >= e.waitCount) {
+			eng.Stop()
+		}
+	})
+	return e
+}
+
+// CreateInput creates a DFS file and, under the RAM policy, pins it in
+// memory up front (the vmtouch step of §V-A).
+func (e *Env) CreateInput(name string, size sim.Bytes) error {
+	if _, err := e.FS.CreateFile(name, size); err != nil {
+		return err
+	}
+	if e.Policy == RAM {
+		if _, err := migration.PinFiles(e.FS, []string{name}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Prepare adapts a job spec to the environment's policy: migrating
+// policies request migration at submission; HDFS and RAM do not.
+func (e *Env) Prepare(spec compute.JobSpec) compute.JobSpec {
+	spec.Migrate = e.Policy.Migrates()
+	return spec
+}
+
+// WaitJob runs the simulation until the job completes or the horizon
+// passes. It returns an error on timeout.
+func (e *Env) WaitJob(j *compute.Job, horizon sim.Duration) error {
+	if j.State == compute.JobDone {
+		return nil
+	}
+	e.waitTarget = j
+	defer func() { e.waitTarget = nil }()
+	e.Eng.RunUntil(e.Eng.Now().Add(horizon))
+	if j.State != compute.JobDone {
+		return fmt.Errorf("experiments: job %q did not finish within %v", j.Spec.Name, horizon)
+	}
+	return nil
+}
+
+// WaitJobs runs the simulation until n jobs have completed in total or
+// the horizon passes.
+func (e *Env) WaitJobs(n int, horizon sim.Duration) error {
+	if e.doneCount >= n {
+		return nil
+	}
+	e.waitCount = n
+	defer func() { e.waitCount = 0 }()
+	e.Eng.RunUntil(e.Eng.Now().Add(horizon))
+	if e.doneCount < n {
+		return fmt.Errorf("experiments: only %d of %d jobs finished within %v", e.doneCount, n, horizon)
+	}
+	return nil
+}
+
+// Close shuts down background tickers so the environment can be dropped.
+func (e *Env) Close() {
+	if e.Coord != nil {
+		e.Coord.Shutdown()
+	}
+}
+
+// WarmupEstimates migrates (and then evicts) a scratch file so every
+// slave's migration-time estimator reflects current cluster conditions
+// before the measured workload starts. This mimics a long-running
+// production deployment, where DYRS "uses past migrations to estimate how
+// long future migrations will take" (§III-A2) — in the paper's testbed
+// the estimators carry history from preceding runs.
+func (e *Env) WarmupEstimates() error {
+	if e.Coord == nil {
+		return nil
+	}
+	const warmupJob migration.JobID = 1 << 30
+	name := "__estimator_warmup__"
+	size := sim.Bytes(3*e.Cl.Size()) * e.FS.Config().BlockSize
+	if _, err := e.FS.CreateFile(name, size); err != nil {
+		return err
+	}
+	if err := e.Coord.Migrate(warmupJob, []string{name}, false); err != nil {
+		return err
+	}
+	e.Eng.RunFor(60 * time.Second)
+	e.Coord.Evict(warmupJob)
+	return nil
+}
+
+// SlowNodeInterference starts the paper's dd-style persistent
+// interference on the given node and returns a stop function (§V-C).
+// Two O_DIRECT dd readers issuing large sequential requests get generous
+// scheduler quanta, so each carries more fair-share weight than a task
+// read stream.
+func (e *Env) SlowNodeInterference(node cluster.NodeID) func() {
+	inf := e.Cl.Node(node).StartInterference(2, 2.5)
+	return inf.Stop
+}
+
+// Hour is a convenient long horizon for WaitJob(s).
+const Hour = time.Hour

@@ -1,0 +1,199 @@
+package experiments
+
+import (
+	"encoding/json"
+	"io"
+
+	"dyrs/internal/metrics"
+	"dyrs/internal/sim"
+)
+
+// FullReport aggregates every experiment into one JSON-serializable
+// document, so downstream tooling (plotting scripts, regression
+// trackers) can consume the evaluation without parsing text tables.
+type FullReport struct {
+	Seed int64 `json:"seed"`
+
+	Trace struct {
+		MeanUtilization    float64 `json:"mean_utilization"`
+		FractionUnder4Pct  float64 `json:"fraction_under_4pct"`
+		FractionLeadCovers float64 `json:"fraction_lead_covers_read"`
+		MeanLeadSeconds    float64 `json:"mean_lead_seconds"`
+	} `json:"trace"`
+
+	Hive []HiveRowJSON `json:"hive"`
+
+	SWIM struct {
+		MeanJobSeconds map[Policy]float64            `json:"mean_job_seconds"`
+		BinMeans       map[Policy]map[string]float64 `json:"bin_means"`
+		MapperMean     map[Policy]float64            `json:"mapper_mean_seconds"`
+		DYRSBytes      sim.Bytes                     `json:"dyrs_bytes_migrated"`
+		HypBytes       sim.Bytes                     `json:"hypothetical_bytes"`
+	} `json:"swim"`
+
+	Fig8 struct {
+		SlowNode int                         `json:"slow_node"`
+		Reads    map[string]map[Policy][]int `json:"reads"`
+	} `json:"fig8"`
+
+	TableII []TableIIRowJSON `json:"table2"`
+
+	Fig10 struct {
+		NaiveSlowTail    int     `json:"naive_slow_tail"`
+		NaiveOverhangSec float64 `json:"naive_overhang_seconds"`
+		DYRSSlowTail     int     `json:"dyrs_slow_tail"`
+		DYRSOverhangSec  float64 `json:"dyrs_overhang_seconds"`
+	} `json:"fig10"`
+
+	Fig11 []Fig11RowJSON `json:"fig11"`
+
+	Motivation MotivationReport `json:"motivation"`
+
+	Order []OrderRowJSON `json:"order"`
+
+	HotCold []HotColdRow `json:"hotcold"`
+
+	Iterative []IterativeRow `json:"iterative"`
+}
+
+// HiveRowJSON is the JSON form of one Hive query result.
+type HiveRowJSON struct {
+	Query     string             `json:"query"`
+	InputGB   float64            `json:"input_gb"`
+	Durations map[Policy]float64 `json:"durations_seconds"`
+	Speedup   float64            `json:"dyrs_speedup"`
+}
+
+// TableIIRowJSON is the JSON form of one interference pattern result.
+type TableIIRowJSON struct {
+	Pattern  string              `json:"pattern"`
+	Figure   string              `json:"figure"`
+	Runtime  float64             `json:"runtime_seconds"`
+	EstNode1 []metrics.TimePoint `json:"estimate_node1"`
+	EstNode2 []metrics.TimePoint `json:"estimate_node2"`
+}
+
+// Fig11RowJSON is the JSON form of one sweep cell.
+type Fig11RowJSON struct {
+	SizeGB    float64            `json:"size_gb"`
+	ExtraLead float64            `json:"extra_lead_seconds"`
+	Map       map[Policy]float64 `json:"map_seconds"`
+	Total     map[Policy]float64 `json:"total_seconds"`
+}
+
+// OrderRowJSON is the JSON form of one ordering-policy result.
+type OrderRowJSON struct {
+	Order     string  `json:"order"`
+	MeanJob   float64 `json:"mean_job_seconds"`
+	SmallMean float64 `json:"small_mean_seconds"`
+	LargeMean float64 `json:"large_mean_seconds"`
+}
+
+// RunAll executes every experiment and aggregates the results.
+func RunAll(seed int64) (*FullReport, error) {
+	out := &FullReport{Seed: seed}
+
+	tr := RunTrace(seed)
+	out.Trace.MeanUtilization = tr.Trace.MeanUtilization()
+	out.Trace.FractionUnder4Pct = tr.Trace.FractionUnder(0.04)
+	out.Trace.FractionLeadCovers = tr.Trace.FractionLeadCoversRead()
+	out.Trace.MeanLeadSeconds = tr.Trace.MeanLeadSeconds()
+
+	hive, err := RunHive(seed)
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range hive.Rows {
+		out.Hive = append(out.Hive, HiveRowJSON{
+			Query: r.Query, InputGB: r.InputGB,
+			Durations: r.Durations, Speedup: r.Speedup(DYRS),
+		})
+	}
+
+	swim, err := RunSWIM(seed)
+	if err != nil {
+		return nil, err
+	}
+	out.SWIM.MeanJobSeconds = map[Policy]float64{}
+	out.SWIM.BinMeans = map[Policy]map[string]float64{}
+	out.SWIM.MapperMean = map[Policy]float64{}
+	for p, run := range swim.Runs {
+		out.SWIM.MeanJobSeconds[p] = run.MeanJobSeconds()
+		out.SWIM.BinMeans[p] = run.MeanJobSecondsByBin()
+		out.SWIM.MapperMean[p] = run.MapperDurations.Mean()
+	}
+	out.SWIM.DYRSBytes = swim.Runs[DYRS].BytesMigrated
+	out.SWIM.HypBytes = swim.Runs[RAM].BytesMigrated
+
+	fig8, err := RunFig8(seed)
+	if err != nil {
+		return nil, err
+	}
+	out.Fig8.SlowNode = fig8.SlowNode
+	out.Fig8.Reads = fig8.Reads
+
+	t2, err := RunTableII(seed)
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range t2.Rows {
+		out.TableII = append(out.TableII, TableIIRowJSON{
+			Pattern: r.Pattern, Figure: r.Figure, Runtime: r.Runtime,
+			EstNode1: r.EstimateNode1, EstNode2: r.EstimateNode2,
+		})
+	}
+
+	f10, err := RunFig10(seed)
+	if err != nil {
+		return nil, err
+	}
+	out.Fig10.NaiveSlowTail, out.Fig10.NaiveOverhangSec = f10.SlowTail(Naive, 10)
+	out.Fig10.DYRSSlowTail, out.Fig10.DYRSOverhangSec = f10.SlowTail(DYRS, 10)
+
+	f11, err := RunFig11(seed)
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range f11.Rows {
+		out.Fig11 = append(out.Fig11, Fig11RowJSON{
+			SizeGB: r.SizeGB, ExtraLead: r.ExtraLead,
+			Map: r.MapSeconds, Total: r.TotalSeconds,
+		})
+	}
+
+	if out.Motivation, err = RunMotivation(seed); err != nil {
+		return nil, err
+	}
+
+	order, err := RunOrderPolicies(seed)
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range order.Rows {
+		out.Order = append(out.Order, OrderRowJSON{
+			Order: r.Order.String(), MeanJob: r.MeanJob,
+			SmallMean: r.SmallMean, LargeMean: r.LargeMean,
+		})
+	}
+
+	hc, err := RunHotCold(seed)
+	if err != nil {
+		return nil, err
+	}
+	out.HotCold = hc.Rows
+
+	it, err := RunIterative(seed)
+	if err != nil {
+		return nil, err
+	}
+	out.Iterative = it.Rows
+
+	return out, nil
+}
+
+// WriteJSON writes the report as indented JSON.
+func (r *FullReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

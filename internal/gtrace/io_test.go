@@ -1,0 +1,108 @@
+package gtrace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func smallTrace() *Trace {
+	cfg := DefaultConfig()
+	cfg.Servers = 3
+	cfg.Duration = time.Hour
+	cfg.Jobs = 20
+	return Generate(cfg)
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	tr := smallTrace()
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Util) != len(tr.Util) || len(back.Jobs) != len(tr.Jobs) {
+		t.Fatalf("shape lost: %d/%d servers, %d/%d jobs",
+			len(back.Util), len(tr.Util), len(back.Jobs), len(tr.Jobs))
+	}
+	if back.MeanUtilization() != tr.MeanUtilization() {
+		t.Errorf("mean util changed: %v vs %v", back.MeanUtilization(), tr.MeanUtilization())
+	}
+	if back.FractionLeadCoversRead() != tr.FractionLeadCoversRead() {
+		t.Error("job analysis changed after round trip")
+	}
+}
+
+func TestReadJSONValidation(t *testing.T) {
+	cases := map[string]string{
+		"garbage":       "{not json",
+		"no servers":    `{"Cfg":{},"Util":[],"Jobs":[]}`,
+		"ragged":        `{"Util":[[0.1,0.2],[0.3]],"Jobs":[]}`,
+		"util range":    `{"Util":[[1.5]],"Jobs":[]}`,
+		"negative lead": `{"Util":[[0.1]],"Jobs":[{"Tasks":1,"LeadSeconds":-1,"ReadSeconds":1}]}`,
+	}
+	for name, in := range cases {
+		if _, err := ReadJSON(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: accepted invalid trace", name)
+		}
+	}
+}
+
+func TestUtilizationCSV(t *testing.T) {
+	tr := smallTrace()
+	var buf bytes.Buffer
+	if err := tr.WriteUtilizationCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	want := 1 + 3*12 // header + servers*bins
+	if len(lines) != want {
+		t.Fatalf("csv lines = %d, want %d", len(lines), want)
+	}
+	if lines[0] != "server,bin,utilization" {
+		t.Errorf("header = %q", lines[0])
+	}
+}
+
+func TestJobsCSVRoundTrip(t *testing.T) {
+	tr := smallTrace()
+	var buf bytes.Buffer
+	if err := tr.WriteJobsCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	jobs, err := ReadJobsCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != len(tr.Jobs) {
+		t.Fatalf("jobs = %d, want %d", len(jobs), len(tr.Jobs))
+	}
+	for i := range jobs {
+		if jobs[i].Tasks != tr.Jobs[i].Tasks {
+			t.Fatalf("job %d tasks differ", i)
+		}
+		// Floats round-tripped at 4 decimal places.
+		if d := jobs[i].LeadSeconds - tr.Jobs[i].LeadSeconds; d > 1e-3 || d < -1e-3 {
+			t.Fatalf("job %d lead drifted by %v", i, d)
+		}
+	}
+}
+
+func TestReadJobsCSVErrors(t *testing.T) {
+	if _, err := ReadJobsCSV(strings.NewReader("")); err == nil {
+		t.Error("empty csv accepted")
+	}
+	if _, err := ReadJobsCSV(strings.NewReader("tasks,lead_seconds,read_seconds\nx,1,2\n")); err == nil {
+		t.Error("non-numeric tasks accepted")
+	}
+	if _, err := ReadJobsCSV(strings.NewReader("tasks,lead_seconds,read_seconds\n1,x,2\n")); err == nil {
+		t.Error("non-numeric lead accepted")
+	}
+	if _, err := ReadJobsCSV(strings.NewReader("tasks,lead_seconds,read_seconds\n1,2,x\n")); err == nil {
+		t.Error("non-numeric read accepted")
+	}
+}

@@ -1,0 +1,247 @@
+package migration
+
+import (
+	"dyrs/internal/cluster"
+	"dyrs/internal/sim"
+)
+
+// DYRSBinder implements the paper's binding policy: migrations stay
+// pending at the master for as long as possible; a background thread
+// periodically re-runs Algorithm 1 to set the target replica of every
+// pending block to the node expected to finish it earliest; and a block
+// is bound to a slave only when that slave pulls work and is the block's
+// current target (§III-A).
+type DYRSBinder struct {
+	c       *Coordinator
+	pending []*blockInfo
+	ticker  *sim.Ticker
+	// Updates counts Algorithm 1 passes, for the scalability bench.
+	Updates int
+}
+
+// NewDYRSBinder returns the DYRS binding policy.
+func NewDYRSBinder() *DYRSBinder { return &DYRSBinder{} }
+
+// Name implements Binder.
+func (b *DYRSBinder) Name() string { return "DYRS" }
+
+func (b *DYRSBinder) attach(c *Coordinator) {
+	b.c = c
+	// The target-update thread runs off the critical path of
+	// master-slave coordination (§III-D).
+	b.ticker = sim.NewTicker(c.eng, c.cfg.TargetUpdateInterval, b.UpdateTargets)
+}
+
+// OnMigrate adds blocks to the pending list and refreshes targets so the
+// immediately following pulls see them.
+func (b *DYRSBinder) OnMigrate(blocks []*blockInfo) {
+	b.pending = append(b.pending, blocks...)
+	b.UpdateTargets()
+}
+
+// OnPull hands the slave the pending blocks currently targeted at it, in
+// FIFO order, up to the free queue space. Blocks targeted elsewhere stay
+// pending even if this slave has room — leaving a slow node idle beats
+// creating a straggler (§III-A2).
+func (b *DYRSBinder) OnPull(n cluster.NodeID, space int) []*blockInfo {
+	if space <= 0 || len(b.pending) == 0 {
+		return nil
+	}
+	var out []*blockInfo
+	rest := b.pending[:0]
+	for _, bi := range b.pending {
+		if len(out) < space && bi.hasTarget && bi.target == n {
+			out = append(out, bi)
+			continue
+		}
+		rest = append(rest, bi)
+	}
+	b.pending = rest
+	return out
+}
+
+// Remove discards a pending block.
+func (b *DYRSBinder) Remove(bi *blockInfo) {
+	for i, p := range b.pending {
+		if p == bi {
+			b.pending = append(b.pending[:i], b.pending[i+1:]...)
+			return
+		}
+	}
+}
+
+// PendingCount implements Binder.
+func (b *DYRSBinder) PendingCount() int { return len(b.pending) }
+
+// Reset implements Binder (master restart).
+func (b *DYRSBinder) Reset() { b.pending = nil }
+
+// UpdateTargets is Algorithm 1: greedily set each pending block's target
+// to the replica location where it is expected to finish migrating
+// earliest, keeping a running per-node finish-time estimate.
+//
+// Per the paper, each node's finish time is initialized to
+// migTime[node] × (numQueued[node]+1) from the latest heartbeat state,
+// and choosing a target uses "the node where assigning the block would
+// result in the lowest new completion time", i.e. finish + migTime for
+// this block's size.
+func (b *DYRSBinder) UpdateTargets() {
+	if len(b.pending) == 0 {
+		return
+	}
+	b.Updates++
+	// Apply the configured cross-job ordering policy before the greedy
+	// pass; with FIFO this is a no-op (§III, future-work extension).
+	b.c.orderPending(b.pending)
+	finish := make(map[cluster.NodeID]float64, b.c.cl.Size())
+	perByte := make(map[cluster.NodeID]float64, b.c.cl.Size())
+	std := float64(b.c.fs.Config().BlockSize)
+	for _, node := range b.c.cl.Nodes() {
+		if !node.Alive() {
+			continue
+		}
+		per, queued := b.c.Estimate(node.ID)
+		perByte[node.ID] = per
+		finish[node.ID] = per * std * float64(queued+1)
+	}
+	for _, bi := range b.pending {
+		best := cluster.NodeID(-1)
+		bestFinish := 0.0
+		size := float64(bi.block.Size)
+		for _, loc := range b.c.fs.Replicas(bi.block.ID) {
+			per, ok := perByte[loc]
+			if !ok {
+				continue
+			}
+			f := finish[loc] + per*size
+			if best < 0 || f < bestFinish {
+				best = loc
+				bestFinish = f
+			}
+		}
+		if best < 0 {
+			bi.hasTarget = false
+			continue
+		}
+		bi.target = best
+		bi.hasTarget = true
+		finish[best] = bestFinish
+	}
+}
+
+func (b *DYRSBinder) stopBinder() {
+	if b.ticker != nil {
+		b.ticker.Stop()
+	}
+}
+
+// IgnemBinder implements the Ignem comparison scheme [8]: as soon as a
+// migration command arrives, each block is bound to a uniformly random
+// replica location. There is no pending list, no feedback, and no
+// adaptation — which is exactly why Ignem collapses under bandwidth
+// heterogeneity (§V-E, Fig. 8).
+type IgnemBinder struct {
+	c *Coordinator
+}
+
+// NewIgnemBinder returns the Ignem binding policy.
+func NewIgnemBinder() *IgnemBinder { return &IgnemBinder{} }
+
+// Name implements Binder.
+func (b *IgnemBinder) Name() string { return "Ignem" }
+
+func (b *IgnemBinder) attach(c *Coordinator) { b.c = c }
+
+// OnMigrate binds every block immediately to a random live replica.
+func (b *IgnemBinder) OnMigrate(blocks []*blockInfo) {
+	for _, bi := range blocks {
+		locs := b.c.fs.Replicas(bi.block.ID)
+		if len(locs) == 0 {
+			bi.state = stateNone
+			b.c.stats.Dropped++
+			continue
+		}
+		loc := locs[b.c.eng.Rand().Intn(len(locs))]
+		b.c.slaves[int(loc)].enqueue(bi)
+	}
+}
+
+// OnPull returns nothing: Ignem never delays binding.
+func (b *IgnemBinder) OnPull(cluster.NodeID, int) []*blockInfo { return nil }
+
+// Remove is a no-op; Ignem has no pending list.
+func (b *IgnemBinder) Remove(*blockInfo) {}
+
+// PendingCount implements Binder.
+func (b *IgnemBinder) PendingCount() int { return 0 }
+
+// Reset implements Binder.
+func (b *IgnemBinder) Reset() {}
+
+// NaiveBinder is the Fig. 10 comparator: delayed binding like DYRS, but
+// when a slave pulls, it simply receives the oldest pending blocks that
+// have a replica on it — no earliest-finish reasoning, so the last few
+// migrations can land on a slow node and become stragglers.
+type NaiveBinder struct {
+	c       *Coordinator
+	pending []*blockInfo
+}
+
+// NewNaiveBinder returns the naive load-balancing policy.
+func NewNaiveBinder() *NaiveBinder { return &NaiveBinder{} }
+
+// Name implements Binder.
+func (b *NaiveBinder) Name() string { return "Naive" }
+
+func (b *NaiveBinder) attach(c *Coordinator) { b.c = c }
+
+// OnMigrate appends to the pending list.
+func (b *NaiveBinder) OnMigrate(blocks []*blockInfo) {
+	b.pending = append(b.pending, blocks...)
+}
+
+// OnPull hands over the oldest pending blocks with a replica on n.
+func (b *NaiveBinder) OnPull(n cluster.NodeID, space int) []*blockInfo {
+	if space <= 0 || len(b.pending) == 0 {
+		return nil
+	}
+	var out []*blockInfo
+	rest := b.pending[:0]
+	for _, bi := range b.pending {
+		if len(out) < space && hasReplicaOn(b.c, bi, n) {
+			out = append(out, bi)
+			continue
+		}
+		rest = append(rest, bi)
+	}
+	b.pending = rest
+	return out
+}
+
+func hasReplicaOn(c *Coordinator, bi *blockInfo, n cluster.NodeID) bool {
+	for _, loc := range c.fs.Replicas(bi.block.ID) {
+		if loc == n {
+			return true
+		}
+	}
+	return false
+}
+
+// Remove discards a pending block.
+func (b *NaiveBinder) Remove(bi *blockInfo) {
+	for i, p := range b.pending {
+		if p == bi {
+			b.pending = append(b.pending[:i], b.pending[i+1:]...)
+			return
+		}
+	}
+}
+
+// PendingCount implements Binder.
+func (b *NaiveBinder) PendingCount() int { return len(b.pending) }
+
+// Reset implements Binder.
+func (b *NaiveBinder) Reset() { b.pending = nil }
+
+// stoppable is implemented by binders owning background tickers.
+type stoppable interface{ stopBinder() }

@@ -1,0 +1,350 @@
+package migration
+
+import (
+	"fmt"
+
+	"dyrs/internal/cluster"
+	"dyrs/internal/dfs"
+	"dyrs/internal/metrics"
+	"dyrs/internal/sim"
+)
+
+// Coordinator is the migration framework: the master-side bookkeeping
+// (reference lists, block lifecycle, stats) plus one Slave per DataNode.
+// The binding policy — which replica of which block migrates where, and
+// when that decision is made — is delegated to a Binder.
+type Coordinator struct {
+	eng *sim.Engine
+	cl  *cluster.Cluster
+	fs  *dfs.FS
+	cfg Config
+
+	binder Binder
+	slaves []*Slave
+	sched  ActiveJobChecker
+
+	info      map[dfs.BlockID]*blockInfo
+	jobBlocks map[JobID]map[dfs.BlockID]bool
+	hints     map[JobID]JobHint
+
+	estimates map[cluster.NodeID]nodeEstimate
+
+	migratedHooks []func(dfs.BlockID, cluster.NodeID, sim.Time)
+
+	stats Stats
+}
+
+// Binder decides replica selection and binding time. Implementations:
+// DYRSBinder, IgnemBinder, NaiveBinder.
+type Binder interface {
+	// Name identifies the policy in output tables.
+	Name() string
+	// OnMigrate receives newly requested blocks. A binder may bind them
+	// to slaves immediately (Ignem) or keep them pending until pulled.
+	OnMigrate(blocks []*blockInfo)
+	// OnPull is invoked when slave n has free local queue space; it
+	// returns the blocks to bind to n now (at most space blocks).
+	OnPull(n cluster.NodeID, space int) []*blockInfo
+	// Remove discards a pending block (missed read or eviction).
+	Remove(b *blockInfo)
+	// PendingCount reports blocks awaiting binding.
+	PendingCount() int
+	// Reset drops all pending state (master restart).
+	Reset()
+}
+
+// NewCoordinator wires a migration framework over the file system with
+// the given binding policy. A Slave is created for every DataNode.
+func NewCoordinator(fs *dfs.FS, cfg Config, binder Binder) *Coordinator {
+	cl := fs.Cluster()
+	c := &Coordinator{
+		eng:       cl.Engine(),
+		cl:        cl,
+		fs:        fs,
+		cfg:       cfg,
+		binder:    binder,
+		sched:     alwaysActive{},
+		info:      make(map[dfs.BlockID]*blockInfo),
+		jobBlocks: make(map[JobID]map[dfs.BlockID]bool),
+		hints:     make(map[JobID]JobHint),
+		estimates: make(map[cluster.NodeID]nodeEstimate),
+	}
+	if ab, ok := binder.(attachable); ok {
+		ab.attach(c)
+	}
+	for _, n := range cl.Nodes() {
+		c.slaves = append(c.slaves, newSlave(c, n))
+	}
+	return c
+}
+
+// attachable is implemented by binders that need a back-reference to the
+// coordinator (to push immediate bindings or read estimates).
+type attachable interface{ attach(c *Coordinator) }
+
+// SetScheduler wires the cluster scheduler used by scavenging.
+func (c *Coordinator) SetScheduler(s ActiveJobChecker) {
+	if s != nil {
+		c.sched = s
+	}
+}
+
+// Stats returns a copy of the framework counters.
+func (c *Coordinator) Stats() Stats { return c.stats }
+
+// Binder returns the active binding policy.
+func (c *Coordinator) Binder() Binder { return c.binder }
+
+// Slave returns the migration slave on the given node.
+func (c *Coordinator) Slave(id cluster.NodeID) *Slave { return c.slaves[int(id)] }
+
+// Estimate reports the master's view of a slave's per-byte migration
+// time and queue occupancy, as refreshed by heartbeats. Before the first
+// heartbeat it falls back to the slave's seeded estimate so Algorithm 1
+// has sane inputs from time zero.
+func (c *Coordinator) Estimate(id cluster.NodeID) (perByteSeconds float64, queued int) {
+	if e, ok := c.estimates[id]; ok {
+		return e.perByte, e.queued
+	}
+	s := c.slaves[int(id)]
+	return s.estimator.perByte(), s.occupancy()
+}
+
+// Migrate implements Manager. It maps files to blocks (the master's job,
+// §III), registers the job on each block's reference list, and hands new
+// blocks to the binder. Binding may happen now (Ignem) or lazily on
+// slave pulls (DYRS/naive).
+func (c *Coordinator) Migrate(job JobID, files []string, implicitEvict bool) error {
+	blocks, err := c.fs.FileBlocks(files)
+	if err != nil {
+		return fmt.Errorf("migration: %w", err)
+	}
+	if c.jobBlocks[job] == nil {
+		c.jobBlocks[job] = make(map[dfs.BlockID]bool)
+	}
+	var fresh []*blockInfo
+	for _, b := range blocks {
+		c.jobBlocks[job][b.ID] = true
+		bi := c.info[b.ID]
+		if bi == nil || bi.state == stateNone {
+			if bi == nil {
+				bi = &blockInfo{
+					block:    b,
+					refs:     make(map[JobID]bool),
+					implicit: make(map[JobID]bool),
+				}
+				c.info[b.ID] = bi
+			}
+			bi.state = statePending
+			bi.hasTarget = false
+			c.stats.Requested++
+			fresh = append(fresh, bi)
+		}
+		bi.refs[job] = true
+		if implicitEvict {
+			bi.implicit[job] = true
+		}
+	}
+	if len(fresh) > 0 {
+		c.binder.OnMigrate(fresh)
+		// Kick the slaves so migration can begin within an RPC round-trip
+		// instead of waiting out a heartbeat; slaves pull per policy.
+		c.cl.RPC(func() {
+			for _, s := range c.slaves {
+				s.pull()
+				s.kick()
+			}
+		})
+	}
+	return nil
+}
+
+// Evict implements Manager: the job's explicit eviction command routed
+// through the master (§III-C3).
+func (c *Coordinator) Evict(job JobID) {
+	for id := range c.jobBlocks[job] {
+		bi := c.info[id]
+		if bi == nil {
+			continue
+		}
+		delete(bi.refs, job)
+		delete(bi.implicit, job)
+		c.maybeRelease(bi)
+	}
+	delete(c.jobBlocks, job)
+	delete(c.hints, job)
+}
+
+// NoteRead implements Manager. For implicit-eviction jobs the job is
+// removed from the block's reference list as soon as it reads the block;
+// a block whose list empties is released — evicted if resident, or
+// discarded from the migration pipeline if the read beat the migration
+// ("discarded due to missed reads", §IV-A1).
+func (c *Coordinator) NoteRead(job JobID, block dfs.BlockID) {
+	bi := c.info[block]
+	if bi == nil {
+		return
+	}
+	inFlight := false
+	switch bi.state {
+	case stateInMemory:
+		c.stats.MemoryHits++
+	case statePending, stateQueued, stateMigrating:
+		c.stats.MissedReads++
+		inFlight = true
+	}
+	if inFlight && !c.cfg.CancelOnMissedRead {
+		// Policies without missed-read handling (Ignem) leave the
+		// now-pointless migration in the pipeline.
+		return
+	}
+	if bi.implicit[job] {
+		delete(bi.refs, job)
+		delete(bi.implicit, job)
+		if ok := c.jobBlocks[job]; ok != nil {
+			delete(ok, block)
+		}
+		c.maybeRelease(bi)
+	}
+}
+
+// maybeRelease frees a block whose reference list has emptied.
+func (c *Coordinator) maybeRelease(bi *blockInfo) {
+	if len(bi.refs) > 0 {
+		return
+	}
+	switch bi.state {
+	case statePending:
+		c.binder.Remove(bi)
+		bi.state = stateNone
+		c.stats.Dropped++
+	case stateQueued:
+		c.slaves[int(bi.slave)].dequeue(bi)
+		bi.state = stateNone
+		c.stats.Dropped++
+	case stateMigrating:
+		if c.cfg.CancelOnMissedRead {
+			// Discard the in-flight migration: its disk bandwidth is
+			// better spent on the read that just made it pointless. In
+			// the paper's testbed migrations take ~2s so this race
+			// window is negligible; under a saturated map phase it is
+			// not, and "discarded due to missed reads" (§IV-A1) extends
+			// naturally to the active transfer (munmap releases it).
+			c.slaves[int(bi.slave)].abortActive(bi)
+			bi.state = stateNone
+			c.stats.Dropped++
+			return
+		}
+		// Policies without missed-read handling let the migration
+		// finish; completion sees the empty list and evicts immediately.
+	case stateInMemory:
+		c.fs.DropMem(bi.block.ID, bi.slave)
+		bi.state = stateNone
+		c.stats.Evicted++
+	}
+}
+
+// onHeartbeat records a slave's estimate for the binder's use.
+func (c *Coordinator) onHeartbeat(n cluster.NodeID, perByte float64, queued int) {
+	c.estimates[n] = nodeEstimate{perByte: perByte, queued: queued}
+}
+
+// onMigrated finalizes a completed migration.
+func (c *Coordinator) onMigrated(bi *blockInfo, at cluster.NodeID) {
+	bi.state = stateInMemory
+	bi.slave = at
+	c.stats.Migrated++
+	c.stats.BytesMigrated += bi.block.Size
+	for _, fn := range c.migratedHooks {
+		fn(bi.block.ID, at, c.eng.Now())
+	}
+	c.maybeRelease(bi) // evicts right away if every reader already came and went
+}
+
+// OnMigrated registers an instrumentation callback invoked whenever a
+// migration completes (used to reconstruct migration timelines, Fig. 10).
+func (c *Coordinator) OnMigrated(fn func(block dfs.BlockID, node cluster.NodeID, at sim.Time)) {
+	c.migratedHooks = append(c.migratedHooks, fn)
+}
+
+// RestartMaster simulates a master fail-over: all soft state about
+// pending migrations and reference lists is lost (§III-C1). In-memory
+// replicas survive at the slaves; scavenging reclaims them once their
+// jobs finish.
+func (c *Coordinator) RestartMaster() {
+	c.binder.Reset()
+	for _, bi := range c.info {
+		switch bi.state {
+		case statePending:
+			bi.state = stateNone
+		case stateQueued, stateMigrating, stateInMemory:
+			// Slave-side state persists; the new master relearns it as
+			// slaves heartbeat and scavenge.
+		}
+	}
+	c.info = make(map[dfs.BlockID]*blockInfo)
+	c.jobBlocks = make(map[JobID]map[dfs.BlockID]bool)
+}
+
+// RestartSlaveProcess simulates a slave process crash + restart: the
+// OS reclaims all locked buffers, the master drops its state about blocks
+// buffered there, and bound-but-unfinished migrations are lost (§III-C2).
+func (c *Coordinator) RestartSlaveProcess(id cluster.NodeID) {
+	s := c.slaves[int(id)]
+	for _, bi := range s.queue {
+		bi.state = stateNone
+		c.stats.Dropped++
+	}
+	s.queue = nil
+	for bi, am := range s.active {
+		if am.flow != nil {
+			am.flow.Cancel()
+		}
+		bi.state = stateNone
+		c.stats.Dropped++
+	}
+	s.active = make(map[*blockInfo]*activeMigration)
+	// Blocks buffered in memory on this node are gone.
+	for blockID, bi := range c.info {
+		if bi.state == stateInMemory && bi.slave == id {
+			bi.state = stateNone
+			c.stats.Evicted++
+			_ = blockID
+		}
+	}
+	c.fs.DropAllMem(id)
+	s.estimator.reset()
+}
+
+// Shutdown stops all slave tickers and any binder background thread;
+// used at the end of an experiment so the event queue can drain.
+func (c *Coordinator) Shutdown() {
+	for _, s := range c.slaves {
+		s.stop()
+	}
+	if sb, ok := c.binder.(stoppable); ok {
+		sb.stopBinder()
+	}
+}
+
+// PendingBlocks reports the number of blocks the binder is still holding
+// unbound.
+func (c *Coordinator) PendingBlocks() int { return c.binder.PendingCount() }
+
+// QueuedBlocks reports blocks bound to slave queues (including active).
+func (c *Coordinator) QueuedBlocks() int {
+	total := 0
+	for _, s := range c.slaves {
+		total += s.occupancy()
+	}
+	return total
+}
+
+// EstimateSeries returns the recorded migration-time-estimate time series
+// for a slave (seconds to migrate one standard block, sampled each
+// heartbeat) — the data behind Fig. 9.
+func (c *Coordinator) EstimateSeries(id cluster.NodeID) *metrics.TimeSeries {
+	return c.slaves[int(id)].estSeries
+}
+
+var _ Manager = (*Coordinator)(nil)

@@ -1,0 +1,224 @@
+// Package migration implements DYRS — the paper's bandwidth-aware
+// disk-to-memory migration framework — together with the comparison
+// schemes used in the evaluation:
+//
+//   - DYRS: delayed binding on slave pull, Algorithm 1 greedy
+//     earliest-finish replica targeting, per-slave EWMA migration-time
+//     estimation with in-progress inflation (§III, §IV).
+//   - Ignem: a random replica is chosen and bound immediately when the
+//     job is submitted (§VI, [8]).
+//   - Naive: FIFO binding to any replica-holding slave with free queue
+//     space — DYRS without straggler avoidance (Fig. 10 comparator).
+//   - None: no migration (default HDFS).
+//
+// The framework side (slave queues, serialized FIFO migration, job
+// reference lists, implicit/explicit eviction, hard memory limits,
+// scavenging, failure recovery) is shared by all binding policies via
+// Coordinator; a Binder supplies the policy.
+package migration
+
+import (
+	"time"
+
+	"dyrs/internal/cluster"
+	"dyrs/internal/dfs"
+	"dyrs/internal/sim"
+)
+
+// JobID identifies a job for reference-list bookkeeping.
+type JobID int
+
+// Manager is the interface the compute framework talks to. The job
+// submitter calls Migrate during submission (the paper inserts the call
+// in the Hadoop job-submitter / after Hive query compilation, §IV-B);
+// Evict runs when the job finishes; NoteRead is invoked as tasks finish
+// reading blocks and drives implicit eviction.
+type Manager interface {
+	// Migrate requests migration of the input files for the given job.
+	// implicitEvict opts the job into eviction-on-read (§III-C3).
+	Migrate(job JobID, files []string, implicitEvict bool) error
+	// Evict clears the job from all reference lists, releasing blocks
+	// whose lists become empty.
+	Evict(job JobID)
+	// NoteRead informs the manager that the job finished reading the
+	// block (slaves extract the job id from read calls, §IV-A1).
+	NoteRead(job JobID, block dfs.BlockID)
+}
+
+// ActiveJobChecker lets slaves ask the cluster scheduler which jobs are
+// still running, used by the scavenging path that cleans up after jobs
+// that died without evicting (§III-C3).
+type ActiveJobChecker interface {
+	JobActive(job JobID) bool
+}
+
+// alwaysActive is the fallback checker used when no scheduler is wired.
+type alwaysActive struct{}
+
+func (alwaysActive) JobActive(JobID) bool { return true }
+
+// None is a Manager that performs no migration: the default-HDFS
+// configuration in the evaluation.
+type None struct{}
+
+// Migrate is a no-op.
+func (None) Migrate(JobID, []string, bool) error { return nil }
+
+// Evict is a no-op.
+func (None) Evict(JobID) {}
+
+// NoteRead is a no-op.
+func (None) NoteRead(JobID, dfs.BlockID) {}
+
+// PinFiles pre-loads every block of the named files into memory at its
+// first replica with no simulated cost — the paper's HDFS-Inputs-in-RAM
+// configuration (inputs locked in RAM with vmtouch before the run, §V-A).
+// It returns the total bytes pinned.
+func PinFiles(fs *dfs.FS, files []string) (sim.Bytes, error) {
+	blocks, err := fs.FileBlocks(files)
+	if err != nil {
+		return 0, err
+	}
+	var total sim.Bytes
+	for _, b := range blocks {
+		if len(b.Replicas) == 0 {
+			continue
+		}
+		fs.RegisterMem(b.ID, b.Replicas[0])
+		total += b.Size
+	}
+	return total, nil
+}
+
+// Config holds the tunables of the migration framework.
+type Config struct {
+	// Heartbeat is the slave->master query interval. Slaves refresh their
+	// estimates and pull more work every heartbeat.
+	Heartbeat time.Duration
+	// TargetUpdateInterval is how often the master's off-critical-path
+	// thread re-runs Algorithm 1 over the pending list (§III-D).
+	TargetUpdateInterval time.Duration
+	// QueueDepth is the per-slave local queue length. Zero derives the
+	// paper's sizing: heartbeat interval divided by the time to read one
+	// block at full disk bandwidth, plus one (§III-B).
+	QueueDepth int
+	// EWMAAlpha is the smoothing factor of the migration-time estimator.
+	EWMAAlpha float64
+	// MemLimitFraction bounds the buffer to this fraction of the node's
+	// MemCapacity (the hard limit of §IV-A1).
+	MemLimitFraction float64
+	// ScavengeThreshold is the memory-usage fraction above which a slave
+	// queries the scheduler and clears references of inactive jobs.
+	ScavengeThreshold float64
+	// CancelOnMissedRead discards not-yet-migrated blocks as soon as a
+	// read makes migrating them pointless ("discarded due to missed
+	// reads", §IV-A1). DYRS does this; Ignem, which binds blindly at
+	// submission and never reconsiders, does not.
+	CancelOnMissedRead bool
+	// IOWeight is the fair-share weight of migration disk streams
+	// relative to foreground reads (weight 1). Below 1 it makes
+	// migration background traffic that consumes residual bandwidth —
+	// the ionice-style priority the mmap/mlock readahead path gets
+	// relative to synchronous task reads.
+	IOWeight float64
+	// MaxConcurrent caps simultaneous migrations per slave. DYRS
+	// serializes migrations (1) to limit disk seek thrash (§III-B);
+	// Ignem just mlocks every bound block at once (unbounded).
+	MaxConcurrent int
+	// DisableInProgressUpdates turns off the §IV-A heartbeat estimate
+	// inflation, reverting to the paper's "earlier prototype" that only
+	// updated estimates on migration completion — kept as an ablation.
+	DisableInProgressUpdates bool
+	// Order selects how the master orders pending migrations across
+	// jobs: the paper's FIFO, or the future-work policies SJF and EDF
+	// (scheduler-cooperative earliest-deadline-first).
+	Order OrderPolicy
+}
+
+// DefaultConfig returns the settings used in the evaluation runs.
+func DefaultConfig() Config {
+	return Config{
+		Heartbeat:            1 * time.Second,
+		TargetUpdateInterval: 500 * time.Millisecond,
+		QueueDepth:           0, // auto
+		EWMAAlpha:            0.4,
+		MemLimitFraction:     1.0,
+		ScavengeThreshold:    0.8,
+		CancelOnMissedRead:   true,
+		IOWeight:             0.25,
+		MaxConcurrent:        1,
+	}
+}
+
+// queueDepth resolves the configured or derived local queue depth for a
+// node: enough queued work to cover one heartbeat of migration at full
+// disk speed, and never less than 2 so the disk cannot idle while the
+// slave is querying the master (§III-B).
+func (c Config) queueDepth(blockSize sim.Bytes, diskBW float64) int {
+	if c.QueueDepth > 0 {
+		return c.QueueDepth
+	}
+	blockTime := float64(blockSize) / diskBW
+	d := int(c.Heartbeat.Seconds()/blockTime) + 1
+	if d < 2 {
+		d = 2
+	}
+	return d
+}
+
+// Stats aggregates framework-wide counters.
+type Stats struct {
+	Requested     int // blocks requested for migration
+	Migrated      int // migrations completed
+	Dropped       int // pending/queued migrations cancelled (missed reads, evictions)
+	Evicted       int // in-memory blocks released
+	MissedReads   int // reads that arrived before the block reached memory
+	MemoryHits    int // reads served after successful migration
+	BytesMigrated sim.Bytes
+}
+
+// nodeEstimate is the per-slave state the master records from heartbeats:
+// the slave's migration-time estimate and its current queue occupancy
+// (§III-D: "During heartbeats, the master stores each slave's estimate of
+// migration time and the number of blocks currently queued").
+type nodeEstimate struct {
+	perByte float64 // estimated seconds per byte
+	queued  int     // blocks queued + active at the slave
+}
+
+// blockState tracks where a requested block is in its migration lifecycle.
+type blockState int
+
+const (
+	stateNone      blockState = iota // not tracked / released
+	statePending                     // at master, unbound
+	stateQueued                      // bound, waiting in a slave queue
+	stateMigrating                   // being read into memory
+	stateInMemory                    // resident; reads are redirected
+)
+
+func (s blockState) String() string {
+	switch s {
+	case statePending:
+		return "pending"
+	case stateQueued:
+		return "queued"
+	case stateMigrating:
+		return "migrating"
+	case stateInMemory:
+		return "in-memory"
+	}
+	return "none"
+}
+
+// blockInfo is the coordinator's record for one requested block.
+type blockInfo struct {
+	block      *dfs.Block
+	state      blockState
+	refs       map[JobID]bool
+	implicit   map[JobID]bool
+	slave      cluster.NodeID // binding location once queued
+	target     cluster.NodeID // Algorithm 1 target while pending
+	hasTarget  bool
+	enqueuedAt sim.Time
+}

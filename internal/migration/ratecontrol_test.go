@@ -1,0 +1,84 @@
+package migration
+
+import (
+	"testing"
+	"time"
+
+	"dyrs/internal/sim"
+)
+
+func TestRateControllerDecaysUnderForeground(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.IOWeight = 1.0
+	r := newRig(t, 40, 2, NewDYRSBinder(), nil, cfg)
+	defer r.c.Shutdown()
+	rc := NewRateController(r.c, time.Second)
+	defer rc.Stop()
+
+	r.mkFile(t, "stream", 40)
+	r.c.Migrate(1, []string{"stream"}, false)
+	// Foreground load on both disks.
+	r.cl.Node(0).StartInterference(2, 1)
+	r.cl.Node(1).StartInterference(2, 1)
+	r.eng.RunUntil(sim.Time(15 * time.Second))
+	if w := rc.Weight(); w > 0.1 {
+		t.Errorf("weight = %.2f under foreground load, want decayed to ~min", w)
+	}
+	if rc.Adjustments == 0 {
+		t.Error("controller never adjusted")
+	}
+}
+
+func TestRateControllerRecoversWhenIdle(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.IOWeight = 0.05
+	r := newRig(t, 41, 2, NewDYRSBinder(), nil, cfg)
+	defer r.c.Shutdown()
+	rc := NewRateController(r.c, time.Second)
+	defer rc.Stop()
+	r.mkFile(t, "stream", 40)
+	r.c.Migrate(1, []string{"stream"}, false)
+	// No foreground traffic at all: weight climbs to MaxWeight.
+	r.eng.RunUntil(sim.Time(15 * time.Second))
+	if w := rc.Weight(); w < 0.9 {
+		t.Errorf("weight = %.2f with idle disks, want recovered toward 1.0", w)
+	}
+}
+
+func TestRateControllerIdleWithoutMigrations(t *testing.T) {
+	r := newRig(t, 42, 2, NewDYRSBinder(), nil, DefaultConfig())
+	defer r.c.Shutdown()
+	rc := NewRateController(r.c, time.Second)
+	defer rc.Stop()
+	before := rc.Weight()
+	r.eng.RunUntil(sim.Time(10 * time.Second))
+	if rc.Weight() != before || rc.Adjustments != 0 {
+		t.Error("controller adjusted with no active migrations")
+	}
+}
+
+func TestRateControllerAIMDCycle(t *testing.T) {
+	// Foreground load alternates: the weight must fall during busy
+	// phases and rise during idle ones.
+	cfg := DefaultConfig()
+	cfg.IOWeight = 1.0
+	r := newRig(t, 43, 1, NewDYRSBinder(), nil, cfg)
+	defer r.c.Shutdown()
+	rc := NewRateController(r.c, time.Second)
+	defer rc.Stop()
+	r.mkFile(t, "stream", 200)
+	r.c.Migrate(1, []string{"stream"}, false)
+
+	inf := r.cl.Node(0).StartInterference(2, 1)
+	r.eng.RunUntil(sim.Time(12 * time.Second))
+	low := rc.Weight()
+	inf.Pause()
+	r.eng.RunUntil(sim.Time(30 * time.Second))
+	high := rc.Weight()
+	if low >= 0.3 {
+		t.Errorf("busy-phase weight %.2f too high", low)
+	}
+	if high <= low*2 {
+		t.Errorf("weight did not recover: %.2f -> %.2f", low, high)
+	}
+}

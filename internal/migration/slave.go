@@ -1,0 +1,263 @@
+package migration
+
+import (
+	"dyrs/internal/cluster"
+	"dyrs/internal/metrics"
+	"dyrs/internal/sim"
+)
+
+// estimator tracks a slave's migration speed as an EWMA over
+// seconds-per-byte, so estimates stay meaningful when block sizes vary.
+// The paper tracks per-block migration durations (§IV-A); normalizing by
+// size is the same estimator generalized to mixed block sizes.
+type estimator struct {
+	ewma *metrics.EWMA
+	seed float64 // seconds per byte at nominal disk bandwidth
+}
+
+func newEstimator(alpha float64, nominalBW float64) *estimator {
+	e := &estimator{ewma: metrics.NewEWMA(alpha), seed: 1 / nominalBW}
+	e.ewma.Set(e.seed)
+	return e
+}
+
+// observe incorporates a migration that moved size bytes in seconds.
+func (e *estimator) observe(seconds float64, size sim.Bytes) {
+	e.ewma.Observe(seconds / float64(size))
+}
+
+// perByte reports the current estimate in seconds per byte.
+func (e *estimator) perByte() float64 { return e.ewma.Value() }
+
+// blockSeconds estimates the migration time for a block of the given size.
+func (e *estimator) blockSeconds(size sim.Bytes) float64 {
+	return e.ewma.Value() * float64(size)
+}
+
+// reset returns the estimator to its seeded state (slave restart).
+func (e *estimator) reset() { e.ewma.Set(e.seed) }
+
+// activeMigration is one in-flight disk-to-memory transfer.
+type activeMigration struct {
+	flow    *sim.Flow
+	started sim.Time
+}
+
+// Slave is the per-DataNode migration agent: it keeps a short local FIFO
+// queue of bound migrations, performs them subject to the policy's
+// concurrency limit (DYRS serializes to limit disk seek thrash, §III-B),
+// maintains the migration-time estimate, and enforces the memory hard
+// limit.
+type Slave struct {
+	c    *Coordinator
+	node *cluster.Node
+
+	queue  []*blockInfo
+	active map[*blockInfo]*activeMigration
+
+	estimator *estimator
+	depth     int
+	memLimit  sim.Bytes
+	maxActive int
+
+	ticker    *sim.Ticker
+	stopped   bool
+	estSeries *metrics.TimeSeries
+
+	// Migrations counts completed migrations on this slave.
+	Migrations int
+	// BytesMigrated counts bytes moved into memory on this slave.
+	BytesMigrated sim.Bytes
+	// BlockedOnMemory counts migration attempts deferred by the hard
+	// memory limit.
+	BlockedOnMemory int
+}
+
+func newSlave(c *Coordinator, node *cluster.Node) *Slave {
+	maxActive := c.cfg.MaxConcurrent
+	if maxActive <= 0 {
+		maxActive = 1
+	}
+	s := &Slave{
+		c:         c,
+		node:      node,
+		active:    make(map[*blockInfo]*activeMigration),
+		estimator: newEstimator(c.cfg.EWMAAlpha, node.Cfg.DiskBandwidth),
+		depth:     c.cfg.queueDepth(c.fs.Config().BlockSize, node.Cfg.DiskBandwidth),
+		memLimit:  sim.Bytes(c.cfg.MemLimitFraction * float64(node.Cfg.MemCapacity)),
+		maxActive: maxActive,
+		estSeries: metrics.NewTimeSeries(node.ID.String()),
+	}
+	s.ticker = sim.NewTicker(c.eng, c.cfg.Heartbeat, s.tick)
+	return s
+}
+
+// Node returns the cluster node this slave runs on.
+func (s *Slave) Node() *cluster.Node { return s.node }
+
+// QueueDepth reports the configured local queue depth.
+func (s *Slave) QueueDepth() int { return s.depth }
+
+// EstimateBlockSeconds reports the slave's current estimate of the time
+// to migrate one block of the given size.
+func (s *Slave) EstimateBlockSeconds(size sim.Bytes) float64 {
+	return s.estimator.blockSeconds(size)
+}
+
+// occupancy counts queued plus active migrations.
+func (s *Slave) occupancy() int {
+	return len(s.queue) + len(s.active)
+}
+
+// tick is the heartbeat: refresh the estimate (including the in-progress
+// inflation of §IV-A), report to the master, scavenge if needed, pull
+// more work, and make sure the disk is busy.
+func (s *Slave) tick() {
+	if s.stopped || !s.node.Alive() {
+		return
+	}
+	// In-progress inflation: once an active migration has run longer than
+	// its estimate, fold the elapsed time into the estimate every
+	// heartbeat rather than waiting for completion (§IV-A). This is what
+	// makes DYRS react quickly when residual bandwidth suddenly drops.
+	// With several concurrent migrations, the longest-running one is the
+	// strongest signal.
+	if !s.c.cfg.DisableInProgressUpdates {
+		var worst *blockInfo
+		var worstElapsed float64
+		for bi, am := range s.active {
+			elapsed := s.c.eng.Now().Sub(am.started).Seconds()
+			if elapsed > s.estimator.blockSeconds(bi.block.Size) && elapsed > worstElapsed {
+				worst, worstElapsed = bi, elapsed
+			}
+		}
+		if worst != nil {
+			s.estimator.observe(worstElapsed, worst.block.Size)
+		}
+	}
+	s.c.onHeartbeat(s.node.ID, s.estimator.perByte(), s.occupancy())
+	s.estSeries.Record(s.c.eng.Now().Seconds(), s.estimator.blockSeconds(s.c.fs.Config().BlockSize))
+
+	if used := s.c.fs.DataNode(s.node.ID).MemUsed(); float64(used) > s.c.cfg.ScavengeThreshold*float64(s.memLimit) {
+		s.scavenge()
+	}
+
+	s.pull()
+	s.kick()
+}
+
+// pull asks the binder for more work when the local queue has space —
+// the slave querying the master (§III-A1).
+func (s *Slave) pull() {
+	if s.stopped || !s.node.Alive() {
+		return
+	}
+	space := s.depth - s.occupancy()
+	if space <= 0 {
+		return
+	}
+	for _, bi := range s.c.binder.OnPull(s.node.ID, space) {
+		s.enqueue(bi)
+	}
+}
+
+// enqueue binds a block to this slave's local queue.
+func (s *Slave) enqueue(bi *blockInfo) {
+	bi.state = stateQueued
+	bi.slave = s.node.ID
+	bi.enqueuedAt = s.c.eng.Now()
+	s.queue = append(s.queue, bi)
+}
+
+// dequeue removes a queued block (eviction / missed read).
+func (s *Slave) dequeue(bi *blockInfo) {
+	for i, q := range s.queue {
+		if q == bi {
+			s.queue = append(s.queue[:i], s.queue[i+1:]...)
+			return
+		}
+	}
+}
+
+// kick starts queued migrations while the concurrency limit allows.
+func (s *Slave) kick() {
+	if s.stopped || !s.node.Alive() {
+		return
+	}
+	for len(s.active) < s.maxActive && len(s.queue) > 0 {
+		next := s.queue[0]
+		dn := s.c.fs.DataNode(s.node.ID)
+		if dn.MemUsed()+next.block.Size > s.memLimit {
+			// Hard limit reached: leave the command queued until buffer
+			// space frees up or the block is discarded on a missed read
+			// (§IV-A1).
+			s.BlockedOnMemory++
+			return
+		}
+		s.queue = s.queue[1:]
+		next.state = stateMigrating
+		am := &activeMigration{started: s.c.eng.Now()}
+		s.active[next] = am
+		flow, err := dn.MigrateToMemory(next.block.ID, s.c.cfg.IOWeight, func(d sim.Duration) {
+			s.finish(next, d)
+		})
+		if err != nil {
+			// Bound to a node that no longer holds a replica (should not
+			// happen with a correct binder); drop the migration.
+			delete(s.active, next)
+			next.state = stateNone
+			s.c.stats.Dropped++
+			continue
+		}
+		am.flow = flow
+	}
+}
+
+// finish completes an active migration: update the estimator with the
+// true duration, publish the in-memory replica, and continue.
+func (s *Slave) finish(bi *blockInfo, d sim.Duration) {
+	s.estimator.observe(d.Seconds(), bi.block.Size)
+	s.Migrations++
+	s.BytesMigrated += bi.block.Size
+	delete(s.active, bi)
+	s.c.onMigrated(bi, s.node.ID)
+	s.kick()
+}
+
+// abortActive cancels the in-flight migration of bi, freeing the disk
+// for foreground reads, and moves on to the next queued block.
+func (s *Slave) abortActive(bi *blockInfo) {
+	am, ok := s.active[bi]
+	if !ok {
+		return
+	}
+	if am.flow != nil {
+		am.flow.Cancel()
+	}
+	delete(s.active, bi)
+	s.kick()
+}
+
+// scavenge clears reference-list entries for jobs the cluster scheduler
+// no longer reports as active, then evicts blocks whose lists emptied —
+// the memory-leak guard of §III-C3.
+func (s *Slave) scavenge() {
+	for _, bi := range s.c.info {
+		if bi.state != stateInMemory || bi.slave != s.node.ID {
+			continue
+		}
+		for job := range bi.refs {
+			if !s.c.sched.JobActive(job) {
+				delete(bi.refs, job)
+				delete(bi.implicit, job)
+			}
+		}
+		s.c.maybeRelease(bi)
+	}
+}
+
+// stop halts the slave's heartbeat.
+func (s *Slave) stop() {
+	s.stopped = true
+	s.ticker.Stop()
+}

@@ -1,0 +1,222 @@
+// Package sim provides a deterministic discrete-event simulation engine:
+// a virtual clock, an event queue with cancellable timers, and a fluid-flow
+// shared-resource model used to simulate disks and network interfaces.
+//
+// All DYRS experiments run in virtual time on top of this engine, so a
+// 20-minute cluster workload simulates in milliseconds and is exactly
+// reproducible from its RNG seed.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Time is an instant in virtual time, expressed as nanoseconds since the
+// start of the simulation.
+type Time int64
+
+// Duration re-exports time.Duration for convenience; all simulation delays
+// use ordinary time.Duration values.
+type Duration = time.Duration
+
+// Add returns the instant d after t.
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+// Sub returns the duration between t and earlier instant u.
+func (t Time) Sub(u Time) Duration { return Duration(t - u) }
+
+// Seconds returns t expressed in seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(time.Second) }
+
+// String formats the instant as a duration since simulation start.
+func (t Time) String() string { return Duration(t).String() }
+
+// Event is a scheduled callback. It is returned by the scheduling methods
+// so callers can cancel it before it fires.
+type Event struct {
+	at        Time
+	seq       uint64
+	fn        func()
+	index     int // heap index; -1 when not queued
+	cancelled bool
+}
+
+// At reports the instant the event is scheduled to fire.
+func (e *Event) At() Time { return e.at }
+
+// eventHeap orders events by time, breaking ties by scheduling order so the
+// simulation is deterministic.
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a single-threaded discrete-event simulator. It is not safe for
+// concurrent use; all model code runs inside event callbacks.
+type Engine struct {
+	now     Time
+	seq     uint64
+	events  eventHeap
+	rng     *rand.Rand
+	stopped bool
+	fired   uint64
+}
+
+// NewEngine returns an engine whose randomness derives from seed.
+// The same seed always produces the same simulation.
+func NewEngine(seed int64) *Engine {
+	return &Engine{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now reports the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Rand returns the engine's deterministic random source. Model components
+// should derive all randomness from it (or from sub-sources created with
+// e.Rand().Int63()) so runs are reproducible.
+func (e *Engine) Rand() *rand.Rand { return e.rng }
+
+// EventsFired reports how many events have executed, mostly for tests and
+// performance reporting.
+func (e *Engine) EventsFired() uint64 { return e.fired }
+
+// Pending reports how many events are queued.
+func (e *Engine) Pending() int { return len(e.events) }
+
+// Schedule runs fn after delay d of virtual time. A negative delay is
+// treated as zero. The returned Event may be cancelled.
+func (e *Engine) Schedule(d Duration, fn func()) *Event {
+	if d < 0 {
+		d = 0
+	}
+	return e.At(e.now.Add(d), fn)
+}
+
+// At runs fn at instant t. Scheduling in the past panics: it always
+// indicates a model bug, and silently clamping would mask it.
+func (e *Engine) At(t Time, fn func()) *Event {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
+	}
+	ev := &Event{at: t, seq: e.seq, fn: fn, index: -1}
+	e.seq++
+	heap.Push(&e.events, ev)
+	return ev
+}
+
+// Cancel removes ev from the queue if it has not fired. Cancelling a nil,
+// fired, or already-cancelled event is a no-op.
+func (e *Engine) Cancel(ev *Event) {
+	if ev == nil || ev.cancelled || ev.index < 0 {
+		if ev != nil {
+			ev.cancelled = true
+		}
+		return
+	}
+	ev.cancelled = true
+	heap.Remove(&e.events, ev.index)
+}
+
+// Stop makes Run return after the current event completes.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Run executes events until the queue drains or Stop is called.
+func (e *Engine) Run() {
+	e.stopped = false
+	for len(e.events) > 0 && !e.stopped {
+		e.step()
+	}
+}
+
+// RunUntil executes events with timestamps <= t, then advances the clock
+// to exactly t.
+func (e *Engine) RunUntil(t Time) {
+	e.stopped = false
+	for len(e.events) > 0 && !e.stopped && e.events[0].at <= t {
+		e.step()
+	}
+	if !e.stopped && e.now < t {
+		e.now = t
+	}
+}
+
+// RunFor executes events for a span d of virtual time from now.
+func (e *Engine) RunFor(d Duration) { e.RunUntil(e.now.Add(d)) }
+
+func (e *Engine) step() {
+	ev := heap.Pop(&e.events).(*Event)
+	e.now = ev.at
+	if !ev.cancelled {
+		e.fired++
+		ev.fn()
+	}
+}
+
+// Ticker invokes fn every interval until cancelled. It is the building
+// block for heartbeats and samplers.
+type Ticker struct {
+	eng      *Engine
+	interval Duration
+	fn       func()
+	ev       *Event
+	stopped  bool
+}
+
+// NewTicker starts a ticker whose first tick fires after one interval.
+func NewTicker(eng *Engine, interval Duration, fn func()) *Ticker {
+	if interval <= 0 {
+		panic("sim: ticker interval must be positive")
+	}
+	t := &Ticker{eng: eng, interval: interval, fn: fn}
+	t.arm()
+	return t
+}
+
+func (t *Ticker) arm() {
+	t.ev = t.eng.Schedule(t.interval, func() {
+		if t.stopped {
+			return
+		}
+		t.fn()
+		if !t.stopped {
+			t.arm()
+		}
+	})
+}
+
+// Stop halts the ticker. It is safe to call multiple times and from within
+// the tick callback.
+func (t *Ticker) Stop() {
+	if t.stopped {
+		return
+	}
+	t.stopped = true
+	t.eng.Cancel(t.ev)
+}

@@ -1,0 +1,329 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+)
+
+// Bytes is a data quantity in bytes.
+type Bytes = int64
+
+// Common byte quantities.
+const (
+	KB Bytes = 1 << 10
+	MB Bytes = 1 << 20
+	GB Bytes = 1 << 30
+	TB Bytes = 1 << 40
+)
+
+// FormatBytes renders a byte count with a binary-unit suffix.
+func FormatBytes(b Bytes) string {
+	switch {
+	case b >= TB:
+		return fmt.Sprintf("%.2fTB", float64(b)/float64(TB))
+	case b >= GB:
+		return fmt.Sprintf("%.2fGB", float64(b)/float64(GB))
+	case b >= MB:
+		return fmt.Sprintf("%.2fMB", float64(b)/float64(MB))
+	case b >= KB:
+		return fmt.Sprintf("%.2fKB", float64(b)/float64(KB))
+	}
+	return fmt.Sprintf("%dB", b)
+}
+
+// EfficiencyFunc maps the current load — the summed fair-share weights of
+// the active flows — to the fraction of nominal capacity the device can
+// sustain. It models the seek overhead a disk pays when serving
+// interleaved streams: n equal-weight foreground streams present load n,
+// while a low-weight background stream (e.g. a deprioritized migration)
+// adds only its fractional share of seek pressure. It must return a value
+// in (0, 1] and should be non-increasing.
+type EfficiencyFunc func(load float64) float64
+
+// FlatEfficiency ignores concurrency; suitable for NICs and memory.
+func FlatEfficiency(float64) float64 { return 1 }
+
+// SeekEfficiency returns an EfficiencyFunc where each unit of additional
+// concurrent load costs penalty of the device's total throughput:
+// eff(w) = 1 / (1 + penalty*(w-1)).
+func SeekEfficiency(penalty float64) EfficiencyFunc {
+	return func(load float64) float64 {
+		if load <= 1 {
+			return 1
+		}
+		return 1 / (1 + penalty*(load-1))
+	}
+}
+
+// Flow is one transfer in progress on a Resource. Flows receive a
+// weighted fair share of the resource's current effective capacity and
+// complete when their remaining bytes reach zero.
+type Flow struct {
+	res       *Resource
+	remaining float64 // bytes left; +Inf for persistent load flows
+	weight    float64
+	rate      float64 // current bytes/sec, maintained by the resource
+	started   Time
+	done      func(f *Flow)
+	ev        *Event // completion event, nil for persistent flows
+	active    bool
+	total     float64 // original size, NaN for persistent
+}
+
+// Remaining reports the bytes this flow still has to transfer.
+func (f *Flow) Remaining() Bytes { return Bytes(math.Ceil(f.remaining)) }
+
+// Rate reports the flow's current transfer rate in bytes/sec.
+func (f *Flow) Rate() float64 { return f.rate }
+
+// Started reports when the flow was admitted.
+func (f *Flow) Started() Time { return f.started }
+
+// Active reports whether the flow is still transferring.
+func (f *Flow) Active() bool { return f.active }
+
+// Resource models a device with a shared, time-varying capacity —
+// a disk or a NIC. Concurrent flows share the effective capacity in
+// proportion to their weights (generalized processor sharing), and the
+// effective capacity is baseCapacity × scale × efficiency(numFlows).
+//
+// This fluid-flow model is what makes residual-bandwidth effects emerge
+// naturally: interference flows, task reads and migrations all compete on
+// the same Resource and each automatically slows the others down.
+type Resource struct {
+	eng        *Engine
+	name       string
+	base       float64 // bytes/sec nominal
+	scale      float64 // dynamic capacity multiplier (hardware heterogeneity)
+	eff        EfficiencyFunc
+	flows      map[*Flow]struct{}
+	lastUpdate Time
+
+	// accounting
+	bytesMoved float64 // total bytes completed through this resource
+	busy       Duration
+}
+
+// NewResource creates a resource with the given nominal capacity in
+// bytes/sec. eff may be nil for flat (no concurrency penalty) behaviour.
+func NewResource(eng *Engine, name string, capacity float64, eff EfficiencyFunc) *Resource {
+	if capacity <= 0 {
+		panic("sim: resource capacity must be positive")
+	}
+	if eff == nil {
+		eff = FlatEfficiency
+	}
+	return &Resource{
+		eng:   eng,
+		name:  name,
+		base:  capacity,
+		scale: 1,
+		eff:   eff,
+		flows: make(map[*Flow]struct{}),
+	}
+}
+
+// Name reports the resource's identifier, e.g. "disk:node3".
+func (r *Resource) Name() string { return r.name }
+
+// Capacity reports the nominal capacity in bytes/sec before scaling.
+func (r *Resource) Capacity() float64 { return r.base }
+
+// EffectiveCapacity reports the current total throughput available to the
+// active flows: base × scale × efficiency(load).
+func (r *Resource) EffectiveCapacity() float64 {
+	return r.base * r.scale * r.eff(r.totalWeight())
+}
+
+func (r *Resource) totalWeight() float64 {
+	var w float64
+	for f := range r.flows {
+		w += f.weight
+	}
+	return w
+}
+
+// ActiveFlows reports the number of in-progress flows.
+func (r *Resource) ActiveFlows() int { return len(r.flows) }
+
+// BytesMoved reports the cumulative bytes transferred to completion plus
+// progress of active flows up to the current instant.
+func (r *Resource) BytesMoved() Bytes {
+	r.advance()
+	return Bytes(r.bytesMoved)
+}
+
+// BusyTime reports the cumulative time the resource had at least one
+// active flow.
+func (r *Resource) BusyTime() Duration {
+	r.advance()
+	return r.busy
+}
+
+// Utilization reports the fraction of the window [since, now] during which
+// the resource was busy.
+func (r *Resource) Utilization(since Time) float64 {
+	r.advance()
+	window := r.eng.Now().Sub(since)
+	if window <= 0 {
+		return 0
+	}
+	b := r.busy
+	if b > window {
+		b = window
+	}
+	return float64(b) / float64(window)
+}
+
+// SetScale changes the dynamic capacity multiplier (e.g. 0.3 for a
+// handicapped node). Active flows are re-rated immediately.
+func (r *Resource) SetScale(s float64) {
+	if s <= 0 {
+		panic("sim: resource scale must be positive")
+	}
+	r.advance()
+	r.scale = s
+	r.rebalance()
+}
+
+// Scale reports the current capacity multiplier.
+func (r *Resource) Scale() float64 { return r.scale }
+
+// Start admits a transfer of size bytes with weight 1. done, if non-nil,
+// runs when the transfer completes.
+func (r *Resource) Start(size Bytes, done func(f *Flow)) *Flow {
+	return r.StartWeighted(size, 1, done)
+}
+
+// StartWeighted admits a transfer of size bytes with the given fair-share
+// weight.
+func (r *Resource) StartWeighted(size Bytes, weight float64, done func(f *Flow)) *Flow {
+	if size <= 0 {
+		panic("sim: flow size must be positive")
+	}
+	if weight <= 0 {
+		panic("sim: flow weight must be positive")
+	}
+	r.advance()
+	f := &Flow{
+		res:       r,
+		remaining: float64(size),
+		total:     float64(size),
+		weight:    weight,
+		started:   r.eng.Now(),
+		done:      done,
+		active:    true,
+	}
+	r.flows[f] = struct{}{}
+	r.rebalance()
+	return f
+}
+
+// StartLoad admits a persistent flow that never completes on its own —
+// a background interference stream (the paper's dd jobs). It is removed
+// with Flow.Cancel.
+func (r *Resource) StartLoad(weight float64) *Flow {
+	if weight <= 0 {
+		panic("sim: flow weight must be positive")
+	}
+	r.advance()
+	f := &Flow{
+		res:       r,
+		remaining: math.Inf(1),
+		total:     math.NaN(),
+		weight:    weight,
+		started:   r.eng.Now(),
+		active:    true,
+	}
+	r.flows[f] = struct{}{}
+	r.rebalance()
+	return f
+}
+
+// Cancel removes a flow before completion. Bytes already moved stay
+// counted; the done callback does not run.
+func (f *Flow) Cancel() {
+	if !f.active {
+		return
+	}
+	r := f.res
+	r.advance()
+	f.active = false
+	if f.ev != nil {
+		r.eng.Cancel(f.ev)
+		f.ev = nil
+	}
+	delete(r.flows, f)
+	r.rebalance()
+}
+
+// advance moves every active flow forward to the current instant at its
+// last-computed rate and accrues accounting.
+func (r *Resource) advance() {
+	now := r.eng.Now()
+	dt := now.Sub(r.lastUpdate).Seconds()
+	if dt <= 0 {
+		r.lastUpdate = now
+		return
+	}
+	if len(r.flows) > 0 {
+		r.busy += now.Sub(r.lastUpdate)
+	}
+	for f := range r.flows {
+		moved := f.rate * dt
+		if moved > f.remaining {
+			moved = f.remaining
+		}
+		f.remaining -= moved
+		if !math.IsInf(f.remaining, 1) {
+			r.bytesMoved += moved
+		} else {
+			// Persistent load flows count toward bytesMoved too: they
+			// represent real IO consuming the device.
+			r.bytesMoved += f.rate * dt
+		}
+	}
+	r.lastUpdate = now
+}
+
+// rebalance recomputes every flow's rate and (re)schedules completion
+// events. Must be called with accounting already advanced to now.
+func (r *Resource) rebalance() {
+	if len(r.flows) == 0 {
+		return
+	}
+	totalWeight := r.totalWeight()
+	totalRate := r.base * r.scale * r.eff(totalWeight)
+	for f := range r.flows {
+		f.rate = totalRate * f.weight / totalWeight
+		if f.ev != nil {
+			r.eng.Cancel(f.ev)
+			f.ev = nil
+		}
+		if math.IsInf(f.remaining, 1) {
+			continue
+		}
+		secs := f.remaining / f.rate
+		ff := f
+		f.ev = r.eng.Schedule(Duration(secs*float64(Second)), func() { r.complete(ff) })
+	}
+}
+
+// Second is one virtual second, for converting float seconds to Duration.
+const Second = Duration(1e9)
+
+func (r *Resource) complete(f *Flow) {
+	r.advance()
+	// Guard against float drift: the event fires when remaining ~ 0.
+	if f.remaining > 0 {
+		r.bytesMoved += f.remaining
+		f.remaining = 0
+	}
+	f.active = false
+	f.ev = nil
+	delete(r.flows, f)
+	r.rebalance()
+	if f.done != nil {
+		f.done(f)
+	}
+}
