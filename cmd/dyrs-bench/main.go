@@ -3,185 +3,160 @@
 //
 // Usage:
 //
-//	dyrs-bench [-seed N] [-only fig4,table1,...]
+//	dyrs-bench [-seed N] [-jobs N] [-only fig4,table1,...] [-json] [-verify]
 //
-// Experiment names: fig1 fig2 fig3 fig4 table1 fig5 fig6 fig7 fig8 fig9
-// table2 fig10 fig11 (aliases: hive=fig4, swim=table1), plus the
-// extension studies: motivation (§I read-speedup micro-comparison),
-// order (future-work migration ordering policies), hotcold (cache vs
-// migration on hot/cold data), iterative (cold-start penalty of
-// iterative jobs).
+// Experiments are independent seeded simulations, so they run on a
+// worker pool (-jobs, default GOMAXPROCS) with output merged in paper
+// order — the result is byte-identical at any worker count. Experiment
+// names: fig1 fig2 fig3 fig4 table1 fig5 fig6 fig7 fig8 fig9 table2
+// fig10 fig11 plus the canonical group names (trace=figs1-3, hive=fig4,
+// swim=table1+figs5-7) and the extension studies: motivation (§I
+// read-speedup micro-comparison), order (future-work migration ordering
+// policies), hotcold (cache vs migration on hot/cold data), iterative
+// (cold-start penalty of iterative jobs). -list prints them all.
+//
+// -verify runs every experiment twice — serial and parallel, same
+// seed — and fails unless each experiment's canonical JSON hashes
+// identically, turning "identical seeds give identical results" into a
+// machine-checked invariant.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
-	"strings"
 	"time"
 
-	"dyrs"
 	"dyrs/internal/experiments"
+	"dyrs/internal/runner"
 )
 
 func main() {
 	seed := flag.Int64("seed", 42, "simulation seed; identical seeds give identical results")
 	only := flag.String("only", "", "comma-separated experiment subset (default: all)")
 	asJSON := flag.Bool("json", false, "emit every experiment as one JSON document instead of text tables")
+	jobs := flag.Int("jobs", 0, "max experiments running concurrently (0 = GOMAXPROCS)")
+	verify := flag.Bool("verify", false, "run every experiment serially and in parallel and fail on any result divergence")
+	quiet := flag.Bool("q", false, "suppress per-experiment progress on stderr")
+	list := flag.Bool("list", false, "list experiment names and exit")
 	flag.Parse()
 
-	if *asJSON {
-		rep, err := experiments.RunAll(*seed)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "dyrs-bench:", err)
-			os.Exit(1)
-		}
-		if err := rep.WriteJSON(os.Stdout); err != nil {
-			fmt.Fprintln(os.Stderr, "dyrs-bench:", err)
-			os.Exit(1)
+	if *list {
+		for _, e := range experiments.Registry() {
+			names := e.Name
+			for _, a := range e.Aliases {
+				names += "," + a
+			}
+			fmt.Printf("%-32s %s\n", names, e.Summary)
 		}
 		return
 	}
 
-	want := map[string]bool{}
-	if *only != "" {
-		for _, name := range strings.Split(*only, ",") {
-			want[strings.TrimSpace(strings.ToLower(name))] = true
-		}
-		if want["hive"] {
-			want["fig4"] = true
-		}
-		if want["swim"] {
-			want["table1"] = true
-		}
-	}
-	sel := func(names ...string) bool {
-		if len(want) == 0 {
-			return true
-		}
-		for _, n := range names {
-			if want[n] {
-				return true
-			}
-		}
-		return false
-	}
-
-	start := time.Now()
 	fail := func(err error) {
 		fmt.Fprintln(os.Stderr, "dyrs-bench:", err)
 		os.Exit(1)
 	}
+	progress := progressPrinter(*quiet)
 
-	if sel("fig1", "fig2", "fig3") {
-		tr := dyrs.RunTrace(*seed)
-		if sel("fig1") {
-			fmt.Println(tr.Fig1())
-		}
-		if sel("fig2") {
-			fmt.Println(tr.Fig2())
-		}
-		if sel("fig3") {
-			fmt.Println(tr.Fig3())
-		}
+	selected, sel, err := experiments.Select(*only)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dyrs-bench:", err)
+		os.Exit(2)
 	}
 
-	if sel("fig4") {
-		rep, err := dyrs.RunHive(*seed)
+	switch {
+	case *verify:
+		if *only != "" {
+			fmt.Fprintln(os.Stderr, "dyrs-bench: -verify always checks every experiment; ignoring -only")
+		}
+		rep, err := experiments.VerifyDeterminism(*seed, *jobs, progress)
 		if err != nil {
 			fail(err)
 		}
-		fmt.Println(rep)
-	}
+		printVerify(rep)
+		if !rep.OK() {
+			os.Exit(1)
+		}
 
-	if sel("table1", "fig5", "fig6", "fig7") {
-		rep, err := dyrs.RunSWIM(*seed)
+	case *asJSON:
+		if *only != "" {
+			fmt.Fprintln(os.Stderr, "dyrs-bench: -json always emits the full report; ignoring -only")
+		}
+		rep, err := experiments.RunAllParallel(*seed, *jobs, progress)
 		if err != nil {
 			fail(err)
 		}
-		if sel("table1") {
-			fmt.Println(rep.TableI())
-		}
-		if sel("fig5") {
-			fmt.Println(rep.Fig5())
-		}
-		if sel("fig6") {
-			fmt.Println(rep.Fig6())
-		}
-		if sel("fig7") {
-			fmt.Println(rep.Fig7())
-		}
-	}
-
-	if sel("fig8") {
-		rep, err := dyrs.RunFig8(*seed)
-		if err != nil {
+		if err := rep.WriteJSON(os.Stdout); err != nil {
 			fail(err)
 		}
-		fmt.Println(rep)
-	}
 
-	if sel("table2", "fig9") {
-		rep, err := dyrs.RunTableII(*seed)
-		if err != nil {
+	default:
+		start := time.Now()
+		results := runner.Run(experimentJobs(selected, *seed),
+			runner.Options{Jobs: *jobs, Progress: progress})
+		if err := runner.FirstError(results); err != nil {
 			fail(err)
 		}
-		if sel("table2") {
-			fmt.Println(rep)
+		for i, res := range results {
+			for _, section := range selected[i].Render(res.Value, sel) {
+				fmt.Println(section)
+			}
 		}
-		if sel("fig9") {
-			fmt.Println(rep.Fig9String())
+		fmt.Printf("(all requested experiments regenerated in %.2fs wall-clock)\n",
+			time.Since(start).Seconds())
+	}
+}
+
+// experimentJobs adapts selected experiments to runner jobs.
+func experimentJobs(selected []experiments.Experiment, seed int64) []runner.Job {
+	out := make([]runner.Job, len(selected))
+	for i, exp := range selected {
+		exp := exp
+		out[i] = runner.Job{
+			Name: exp.Name,
+			Run:  func() (any, error) { return exp.Run(seed) },
 		}
 	}
+	return out
+}
 
-	if sel("fig10") {
-		rep, err := dyrs.RunFig10(*seed)
-		if err != nil {
-			fail(err)
-		}
-		fmt.Println(rep)
+// progressPrinter returns a runner progress callback that narrates
+// start/done events on stderr (stdout stays reserved for results, so
+// byte-for-byte output comparisons are unaffected).
+func progressPrinter(quiet bool) func(runner.Event) {
+	if quiet {
+		return nil
 	}
-
-	if sel("fig11") {
-		rep, err := dyrs.RunFig11(*seed)
-		if err != nil {
-			fail(err)
+	return func(ev runner.Event) {
+		switch ev.Kind {
+		case runner.EventStart:
+			fmt.Fprintf(os.Stderr, "dyrs-bench: start %s\n", ev.Name)
+		case runner.EventDone:
+			status := ""
+			if ev.Err != nil {
+				status = " FAILED"
+			}
+			fmt.Fprintf(os.Stderr, "dyrs-bench: done  %-12s (%d/%d) %.2fs%s\n",
+				ev.Name, ev.Done, ev.Total, ev.Elapsed.Seconds(), status)
 		}
-		fmt.Println(rep)
 	}
+}
 
-	if sel("motivation") {
-		rep, err := dyrs.RunMotivation(*seed)
-		if err != nil {
-			fail(err)
+// printVerify renders the determinism report.
+func printVerify(rep experiments.VerifyReport) {
+	fmt.Printf("determinism check: seed %d, serial vs %d-way parallel\n", rep.Seed, rep.Jobs)
+	for _, row := range rep.Rows {
+		status := "ok"
+		if !row.OK() {
+			status = fmt.Sprintf("DIVERGED (serial %s != parallel %s)",
+				row.SerialHash[:12], row.ParallelHash[:12])
 		}
-		fmt.Println(rep)
+		fmt.Printf("  %-12s %s  sha256:%s  serial %.2fs / parallel %.2fs\n",
+			row.Name, status, row.SerialHash[:12], row.Serial.Seconds(), row.Parallel.Seconds())
 	}
-
-	if sel("order") {
-		rep, err := dyrs.RunOrderPolicies(*seed)
-		if err != nil {
-			fail(err)
-		}
-		fmt.Println(rep)
+	if div := rep.Divergent(); len(div) > 0 {
+		fmt.Printf("FAIL: %d experiment(s) diverged: %v\n", len(div), div)
+	} else {
+		fmt.Printf("PASS: all %d experiments bit-identical serial vs parallel\n", len(rep.Rows))
 	}
-
-	if sel("hotcold") {
-		rep, err := dyrs.RunHotCold(*seed)
-		if err != nil {
-			fail(err)
-		}
-		fmt.Println(rep)
-	}
-
-	if sel("iterative") {
-		rep, err := dyrs.RunIterative(*seed)
-		if err != nil {
-			fail(err)
-		}
-		fmt.Println(rep)
-	}
-
-	fmt.Printf("(all requested experiments regenerated in %.2fs wall-clock)\n",
-		time.Since(start).Seconds())
 }

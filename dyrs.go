@@ -26,11 +26,16 @@
 // One entry point exists per table and figure of the evaluation; see
 // RunHive (Fig. 4), RunSWIM (Table I, Figs. 5-7), RunFig8, RunTableII
 // (Table II + Fig. 9), RunFig10, RunFig11, and RunTrace (Figs. 1-3).
-// The cmd/dyrs-bench binary prints them all.
+// The cmd/dyrs-bench binary prints them all. Experiments are registered
+// declaratively (Registry) and independent of one another, so RunAllJobs
+// runs them on a worker pool with results merged in paper order.
 //
 // Everything runs in virtual time from seeded randomness: the same seed
 // always produces byte-identical results, and a full evaluation pass
-// takes seconds of wall-clock time.
+// takes seconds of wall-clock time. That reproducibility claim is
+// machine-checked: VerifyDeterminism (and dyrs-bench -verify in CI)
+// runs every experiment serially and in parallel at the same seed and
+// fails if any canonical-JSON hash diverges.
 package dyrs
 
 import (
@@ -139,6 +144,38 @@ var (
 	// (§I) with and without migration.
 	RunIterative = experiments.RunIterative
 )
+
+// Registry returns every registered experiment in presentation order;
+// Experiment is one registered unit of the evaluation.
+var Registry = experiments.Registry
+
+// Experiment is one registered experiment: name, aliases, run func,
+// text rendering and JSON merge.
+type Experiment = experiments.Experiment
+
+// FullReport aggregates every experiment into one JSON document.
+type FullReport = experiments.FullReport
+
+// VerifyReport is the outcome of a determinism check.
+type VerifyReport = experiments.VerifyReport
+
+// RunAll executes every registered experiment serially and aggregates
+// the results into one report.
+var RunAll = experiments.RunAll
+
+// RunAllJobs executes every registered experiment on a worker pool of
+// the given size (jobs <= 0 means GOMAXPROCS). The merged report is
+// byte-identical at any worker count.
+func RunAllJobs(seed int64, jobs int) (*FullReport, error) {
+	return experiments.RunAllParallel(seed, jobs, nil)
+}
+
+// VerifyDeterminism runs every experiment twice at the same seed —
+// serially and on a jobs-wide pool — and reports per-experiment result
+// hashes, which diverge only if the determinism contract is broken.
+func VerifyDeterminism(seed int64, jobs int) (VerifyReport, error) {
+	return experiments.VerifyDeterminism(seed, jobs, nil)
+}
 
 // Report types returned by the experiment entry points.
 type (

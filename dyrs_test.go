@@ -81,3 +81,17 @@ func TestFacadeTraceEntryPoint(t *testing.T) {
 		t.Error("empty trace from facade")
 	}
 }
+
+func TestFacadeRegistryAndParallelRun(t *testing.T) {
+	reg := dyrs.Registry()
+	if len(reg) == 0 {
+		t.Fatal("empty registry")
+	}
+	rep, err := dyrs.RunAllJobs(7, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Seed != 7 || len(rep.Hive) == 0 || len(rep.Iterative) == 0 {
+		t.Errorf("parallel report incomplete: seed=%d", rep.Seed)
+	}
+}

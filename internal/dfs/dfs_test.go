@@ -20,6 +20,7 @@ func newTestFS(t *testing.T, nodes int, seed int64) (*sim.Engine, *cluster.Clust
 }
 
 func TestCreateFileBlocks(t *testing.T) {
+	t.Parallel()
 	_, _, fs := newTestFS(t, 5, 1)
 	f, err := fs.CreateFile("input", 1000*sim.MB)
 	if err != nil {
@@ -53,6 +54,7 @@ func TestCreateFileBlocks(t *testing.T) {
 }
 
 func TestCreateFileErrors(t *testing.T) {
+	t.Parallel()
 	_, _, fs := newTestFS(t, 5, 1)
 	if _, err := fs.CreateFile("a", 1*sim.MB); err != nil {
 		t.Fatal(err)
@@ -72,6 +74,7 @@ func TestCreateFileErrors(t *testing.T) {
 }
 
 func TestPlacementSpreads(t *testing.T) {
+	t.Parallel()
 	_, cl, fs := newTestFS(t, 7, 2)
 	_, err := fs.CreateFile("big", 70*256*sim.MB)
 	if err != nil {
@@ -93,6 +96,7 @@ func TestPlacementSpreads(t *testing.T) {
 }
 
 func TestReadBlockDiskLocalPreferred(t *testing.T) {
+	t.Parallel()
 	eng, _, fs := newTestFS(t, 5, 3)
 	f, _ := fs.CreateFile("in", 256*sim.MB)
 	b := fs.Block(f.Blocks[0])
@@ -115,6 +119,7 @@ func TestReadBlockDiskLocalPreferred(t *testing.T) {
 }
 
 func TestReadBlockDiskRemote(t *testing.T) {
+	t.Parallel()
 	eng, _, fs := newTestFS(t, 5, 4)
 	f, _ := fs.CreateFile("in", 256*sim.MB)
 	b := fs.Block(f.Blocks[0])
@@ -146,6 +151,7 @@ func TestReadBlockDiskRemote(t *testing.T) {
 }
 
 func TestReadRedirectsToMemory(t *testing.T) {
+	t.Parallel()
 	eng, _, fs := newTestFS(t, 5, 5)
 	f, _ := fs.CreateFile("in", 256*sim.MB)
 	b := fs.Block(f.Blocks[0])
@@ -177,6 +183,7 @@ func TestReadRedirectsToMemory(t *testing.T) {
 }
 
 func TestMemAccounting(t *testing.T) {
+	t.Parallel()
 	_, _, fs := newTestFS(t, 5, 6)
 	f, _ := fs.CreateFile("in", 3*256*sim.MB)
 	n := cluster.NodeID(0)
@@ -208,6 +215,7 @@ func TestMemAccounting(t *testing.T) {
 }
 
 func TestMemReplicaIgnoresDeadNode(t *testing.T) {
+	t.Parallel()
 	eng, cl, fs := newTestFS(t, 5, 7)
 	f, _ := fs.CreateFile("in", 256*sim.MB)
 	b := fs.Block(f.Blocks[0])
@@ -232,6 +240,7 @@ func TestMemReplicaIgnoresDeadNode(t *testing.T) {
 }
 
 func TestReadNoReplica(t *testing.T) {
+	t.Parallel()
 	_, cl, fs := newTestFS(t, 3, 8)
 	f, _ := fs.CreateFile("in", 10*sim.MB)
 	for i := 0; i < 3; i++ {
@@ -243,6 +252,7 @@ func TestReadNoReplica(t *testing.T) {
 }
 
 func TestMigrateToMemory(t *testing.T) {
+	t.Parallel()
 	eng, _, fs := newTestFS(t, 5, 9)
 	f, _ := fs.CreateFile("in", 256*sim.MB)
 	b := fs.Block(f.Blocks[0])
@@ -264,6 +274,7 @@ func TestMigrateToMemory(t *testing.T) {
 }
 
 func TestMigrateWithoutReplicaFails(t *testing.T) {
+	t.Parallel()
 	_, _, fs := newTestFS(t, 5, 10)
 	f, _ := fs.CreateFile("in", 256*sim.MB)
 	b := fs.Block(f.Blocks[0])
@@ -284,6 +295,7 @@ func TestMigrateWithoutReplicaFails(t *testing.T) {
 }
 
 func TestOnReadHook(t *testing.T) {
+	t.Parallel()
 	eng, _, fs := newTestFS(t, 5, 11)
 	f, _ := fs.CreateFile("in", 256*sim.MB)
 	b := fs.Block(f.Blocks[0])
@@ -303,6 +315,7 @@ func TestOnReadHook(t *testing.T) {
 }
 
 func TestWriteBlocks(t *testing.T) {
+	t.Parallel()
 	eng, _, fs := newTestFS(t, 5, 12)
 	done := false
 	fs.WriteBlocks(0, 512*sim.MB, 2, func() { done = true })
@@ -318,6 +331,7 @@ func TestWriteBlocks(t *testing.T) {
 }
 
 func TestWriteBlocksZeroSize(t *testing.T) {
+	t.Parallel()
 	eng, _, fs := newTestFS(t, 3, 13)
 	done := false
 	fs.WriteBlocks(0, 0, 1, func() { done = true })
@@ -328,6 +342,7 @@ func TestWriteBlocksZeroSize(t *testing.T) {
 }
 
 func TestReadSourceString(t *testing.T) {
+	t.Parallel()
 	cases := map[ReadSource]string{
 		SourceDiskLocal:  "disk-local",
 		SourceDiskRemote: "disk-remote",
@@ -349,6 +364,7 @@ func TestReadSourceString(t *testing.T) {
 // sequences — used bytes always equal the sum of resident block sizes and
 // never go negative.
 func TestPropertyMemAccountingBalances(t *testing.T) {
+	t.Parallel()
 	prop := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
 		eng := sim.NewEngine(seed)
@@ -383,6 +399,7 @@ func TestPropertyMemAccountingBalances(t *testing.T) {
 }
 
 func TestSortedBlockIDs(t *testing.T) {
+	t.Parallel()
 	_, _, fs := newTestFS(t, 5, 14)
 	fs.CreateFile("a", 512*sim.MB)
 	fs.CreateFile("b", 512*sim.MB)
@@ -401,6 +418,7 @@ func TestSortedBlockIDs(t *testing.T) {
 }
 
 func TestConcurrentReadsShareDisk(t *testing.T) {
+	t.Parallel()
 	eng, _, fs := newTestFS(t, 5, 15)
 	cfg := fs.Config()
 	f, _ := fs.CreateFile("in", 2*cfg.BlockSize)
@@ -428,6 +446,7 @@ func TestConcurrentReadsShareDisk(t *testing.T) {
 }
 
 func TestFsckCleanState(t *testing.T) {
+	t.Parallel()
 	eng, _, fs := newTestFS(t, 5, 40)
 	fs.CreateFile("a", 3*256*sim.MB)
 	fs.CreateFile("b", 100*sim.MB)
@@ -440,6 +459,7 @@ func TestFsckCleanState(t *testing.T) {
 }
 
 func TestFsckDetectsCorruption(t *testing.T) {
+	t.Parallel()
 	_, _, fs := newTestFS(t, 5, 41)
 	f, _ := fs.CreateFile("a", 2*256*sim.MB)
 	// Corrupt: register a memory replica on a node without a disk
@@ -465,6 +485,7 @@ func TestFsckDetectsCorruption(t *testing.T) {
 }
 
 func TestWritePipelineReplication(t *testing.T) {
+	t.Parallel()
 	// Replication 3 charges three disks and two NIC hops; the write
 	// completes with the slowest leg, so it is no faster than a single
 	// local write but the remote replicas are materialized.
@@ -490,6 +511,7 @@ func TestWritePipelineReplication(t *testing.T) {
 }
 
 func TestWritePipelineCrossRackUsesCore(t *testing.T) {
+	t.Parallel()
 	eng := sim.NewEngine(43)
 	cl := cluster.New(eng, 4, nil)
 	cl.ConfigureRacks(2, 20*float64(sim.MB)) // tiny core

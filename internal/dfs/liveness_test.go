@@ -9,6 +9,7 @@ import (
 )
 
 func TestHeartbeatStaleViewAndFailover(t *testing.T) {
+	t.Parallel()
 	eng, cl, fs := newTestFS(t, 5, 60)
 	fs.EnableHeartbeats(DefaultLivenessConfig())
 	defer fs.DisableHeartbeats()
@@ -62,6 +63,7 @@ func TestHeartbeatStaleViewAndFailover(t *testing.T) {
 }
 
 func TestHeartbeatMemReplicaFailover(t *testing.T) {
+	t.Parallel()
 	eng, cl, fs := newTestFS(t, 5, 61)
 	fs.EnableHeartbeats(DefaultLivenessConfig())
 	defer fs.DisableHeartbeats()
@@ -89,6 +91,7 @@ func TestHeartbeatMemReplicaFailover(t *testing.T) {
 }
 
 func TestAllReplicasDeadMidFailover(t *testing.T) {
+	t.Parallel()
 	eng := sim.NewEngine(62)
 	cl := cluster.New(eng, 2, nil)
 	cfg := DefaultConfig()
@@ -114,6 +117,7 @@ func TestAllReplicasDeadMidFailover(t *testing.T) {
 }
 
 func TestLivenessConfigValidation(t *testing.T) {
+	t.Parallel()
 	_, _, fs := newTestFS(t, 3, 63)
 	defer func() {
 		if recover() == nil {

@@ -17,6 +17,7 @@ func newRackedFS(t *testing.T, nodes, racks int, coreBW float64, seed int64) (*s
 }
 
 func TestRackAwarePlacement(t *testing.T) {
+	t.Parallel()
 	_, cl, fs := newRackedFS(t, 8, 2, 0, 1)
 	if _, err := fs.CreateFile("big", 40*256*sim.MB); err != nil {
 		t.Fatal(err)
@@ -41,6 +42,7 @@ func TestRackAwarePlacement(t *testing.T) {
 }
 
 func TestRackPlacementDegradesGracefully(t *testing.T) {
+	t.Parallel()
 	// 2 nodes, 2 racks, replication 2: both racks used, no panic.
 	eng := sim.NewEngine(2)
 	cl := cluster.New(eng, 2, nil)
@@ -59,6 +61,7 @@ func TestRackPlacementDegradesGracefully(t *testing.T) {
 }
 
 func TestRemoteReadPrefersSameRack(t *testing.T) {
+	t.Parallel()
 	eng, cl, fs := newRackedFS(t, 8, 2, 0, 3)
 	f, _ := fs.CreateFile("in", 256*sim.MB)
 	b := fs.Block(f.Blocks[0])
@@ -94,6 +97,7 @@ func TestRemoteReadPrefersSameRack(t *testing.T) {
 }
 
 func TestCrossRackReadTraversesCore(t *testing.T) {
+	t.Parallel()
 	// A tiny core (20MB/s) makes cross-rack memory reads obviously slow.
 	eng, cl, fs := newRackedFS(t, 4, 2, 20*float64(sim.MB), 4)
 	f, _ := fs.CreateFile("in", 256*sim.MB)
@@ -137,6 +141,7 @@ func TestCrossRackReadTraversesCore(t *testing.T) {
 }
 
 func TestCoreContention(t *testing.T) {
+	t.Parallel()
 	// Two concurrent cross-rack reads share the core fairly.
 	eng, cl, fs := newRackedFS(t, 4, 2, 100*float64(sim.MB), 5)
 	fa, _ := fs.CreateFile("a", 256*sim.MB)

@@ -17,6 +17,7 @@ import (
 // tolerant bounds, not exact numbers.
 
 func TestEnvPolicies(t *testing.T) {
+	t.Parallel()
 	for _, p := range []Policy{HDFS, RAM, Ignem, DYRS, Naive} {
 		env := NewEnv(p, DefaultOptions(1))
 		if p.Migrates() && env.Coord == nil {
@@ -30,6 +31,7 @@ func TestEnvPolicies(t *testing.T) {
 }
 
 func TestCreateInputPinsUnderRAM(t *testing.T) {
+	t.Parallel()
 	env := NewEnv(RAM, DefaultOptions(1))
 	defer env.Close()
 	if err := env.CreateInput("x", 512*sim.MB); err != nil {
@@ -47,6 +49,7 @@ func TestCreateInputPinsUnderRAM(t *testing.T) {
 }
 
 func TestPrepareSetsMigrateFlag(t *testing.T) {
+	t.Parallel()
 	spec := workload.SortSpec("f", 4, false)
 	env := NewEnv(DYRS, DefaultOptions(1))
 	defer env.Close()
@@ -62,6 +65,7 @@ func TestPrepareSetsMigrateFlag(t *testing.T) {
 }
 
 func TestWarmupEstimates(t *testing.T) {
+	t.Parallel()
 	env := NewEnv(DYRS, DefaultOptions(1))
 	defer env.Close()
 	stop := env.SlowNodeInterference(0)
@@ -88,6 +92,7 @@ func TestWarmupEstimates(t *testing.T) {
 }
 
 func TestWaitJobTimeout(t *testing.T) {
+	t.Parallel()
 	env := NewEnv(HDFS, DefaultOptions(1))
 	defer env.Close()
 	env.CreateInput("in", sim.GB)
@@ -108,6 +113,7 @@ func TestWaitJobTimeout(t *testing.T) {
 }
 
 func TestHiveSingleQueryShape(t *testing.T) {
+	t.Parallel()
 	q := workload.TPCDSQueries()[1] // 3.5GB: small enough to fully migrate
 	durs := map[Policy]float64{}
 	for _, p := range AllPolicies {
@@ -129,6 +135,7 @@ func TestHiveSingleQueryShape(t *testing.T) {
 }
 
 func TestHiveReportRendering(t *testing.T) {
+	t.Parallel()
 	rep := HiveReport{Rows: []HiveRow{{
 		Query: "q1", InputGB: 2,
 		Durations: map[Policy]float64{HDFS: 100, RAM: 50, Ignem: 110, DYRS: 64},
@@ -155,6 +162,7 @@ func TestHiveReportRendering(t *testing.T) {
 }
 
 func TestSWIMShape(t *testing.T) {
+	t.Parallel()
 	rep, err := RunSWIM(7)
 	if err != nil {
 		t.Fatal(err)
@@ -205,6 +213,7 @@ func TestSWIMShape(t *testing.T) {
 }
 
 func TestSizeBin(t *testing.T) {
+	t.Parallel()
 	cases := map[sim.Bytes]string{
 		10 * sim.MB: "small",
 		63 * sim.MB: "small",
@@ -221,6 +230,7 @@ func TestSizeBin(t *testing.T) {
 }
 
 func TestFig8Shape(t *testing.T) {
+	t.Parallel()
 	rep, err := RunFig8(7)
 	if err != nil {
 		t.Fatal(err)
@@ -248,6 +258,7 @@ func TestFig8Shape(t *testing.T) {
 }
 
 func TestTableIIShape(t *testing.T) {
+	t.Parallel()
 	rep, err := RunTableII(7)
 	if err != nil {
 		t.Fatal(err)
@@ -280,6 +291,7 @@ func TestTableIIShape(t *testing.T) {
 }
 
 func TestFig9EstimateTracksInterference(t *testing.T) {
+	t.Parallel()
 	rep, err := RunTableII(7)
 	if err != nil {
 		t.Fatal(err)
@@ -305,6 +317,7 @@ func TestFig9EstimateTracksInterference(t *testing.T) {
 }
 
 func TestFig10Shape(t *testing.T) {
+	t.Parallel()
 	rep, err := RunFig10(7)
 	if err != nil {
 		t.Fatal(err)
@@ -323,6 +336,7 @@ func TestFig10Shape(t *testing.T) {
 }
 
 func TestFig11Shape(t *testing.T) {
+	t.Parallel()
 	rep, err := RunFig11(7)
 	if err != nil {
 		t.Fatal(err)
@@ -367,6 +381,7 @@ func TestFig11Shape(t *testing.T) {
 }
 
 func TestTraceReport(t *testing.T) {
+	t.Parallel()
 	rep := RunTrace(3)
 	for _, s := range []string{rep.Fig1(), rep.Fig2(), rep.Fig3()} {
 		if len(s) < 20 {
@@ -376,6 +391,7 @@ func TestTraceReport(t *testing.T) {
 }
 
 func TestTableRendering(t *testing.T) {
+	t.Parallel()
 	tb := NewTable("Title", "a", "bb")
 	tb.AddRow("x", 1.5)
 	tb.AddRow("longer", "v")
@@ -390,6 +406,7 @@ func TestTableRendering(t *testing.T) {
 }
 
 func TestPct(t *testing.T) {
+	t.Parallel()
 	if Pct(0.33) != "+33%" {
 		t.Errorf("Pct(0.33) = %s", Pct(0.33))
 	}
@@ -399,6 +416,7 @@ func TestPct(t *testing.T) {
 }
 
 func TestOrderPolicies(t *testing.T) {
+	t.Parallel()
 	rep, err := RunOrderPolicies(7)
 	if err != nil {
 		t.Fatal(err)
@@ -423,6 +441,7 @@ func TestOrderPolicies(t *testing.T) {
 }
 
 func TestMotivationShape(t *testing.T) {
+	t.Parallel()
 	rep, err := RunMotivation(7)
 	if err != nil {
 		t.Fatal(err)
@@ -446,6 +465,7 @@ func TestMotivationShape(t *testing.T) {
 }
 
 func TestHotColdShape(t *testing.T) {
+	t.Parallel()
 	rep, err := RunHotCold(7)
 	if err != nil {
 		t.Fatal(err)
@@ -473,6 +493,7 @@ func TestHotColdShape(t *testing.T) {
 }
 
 func TestIterativeShape(t *testing.T) {
+	t.Parallel()
 	rep, err := RunIterative(7)
 	if err != nil {
 		t.Fatal(err)
@@ -501,6 +522,7 @@ func TestIterativeShape(t *testing.T) {
 }
 
 func TestRackedClusterStillBenefitsFromDYRS(t *testing.T) {
+	t.Parallel()
 	// DYRS on a 2-rack cluster with an oversubscribed core: migration
 	// still delivers a clear speedup, and rack-aware placement holds.
 	run := func(policy Policy) float64 {
@@ -535,6 +557,7 @@ func TestRackedClusterStillBenefitsFromDYRS(t *testing.T) {
 }
 
 func TestRunAllJSONRoundTrip(t *testing.T) {
+	t.Parallel()
 	rep, err := RunAll(7)
 	if err != nil {
 		t.Fatal(err)

@@ -145,3 +145,24 @@ func RunHive(seed int64) (HiveReport, error) {
 	}
 	return rep, nil
 }
+
+// hiveExperiment registers Fig. 4.
+func hiveExperiment() Experiment {
+	return Experiment{
+		Name:    "hive",
+		Aliases: []string{"fig4"},
+		Summary: "Fig. 4: ten Hive queries under all four configurations",
+		Run:     func(seed int64) (any, error) { return RunHive(seed) },
+		Render: func(result any, sel Selection) []string {
+			return []string{result.(HiveReport).String()}
+		},
+		Merge: func(rep *FullReport, result any) {
+			for _, r := range result.(HiveReport).Rows {
+				rep.Hive = append(rep.Hive, HiveRowJSON{
+					Query: r.Query, InputGB: r.InputGB,
+					Durations: r.Durations, Speedup: r.Speedup(DYRS),
+				})
+			}
+		},
+	}
+}

@@ -137,3 +137,18 @@ func RunHotCold(seed int64) (HotColdReport, error) {
 	}
 	return rep, nil
 }
+
+// hotcoldExperiment registers the cache-vs-migration study.
+func hotcoldExperiment() Experiment {
+	return Experiment{
+		Name:    "hotcold",
+		Summary: "extension: PACMan-like cache vs DYRS on hot/cold data",
+		Run:     func(seed int64) (any, error) { return RunHotCold(seed) },
+		Render: func(result any, sel Selection) []string {
+			return []string{result.(HotColdReport).String()}
+		},
+		Merge: func(rep *FullReport, result any) {
+			rep.HotCold = result.(HotColdReport).Rows
+		},
+	}
+}

@@ -118,3 +118,18 @@ func RunIterative(seed int64) (IterativeReport, error) {
 	}
 	return rep, nil
 }
+
+// iterativeExperiment registers the iterative-job cold-start study.
+func iterativeExperiment() Experiment {
+	return Experiment{
+		Name:    "iterative",
+		Summary: "extension: cold-start penalty of iterative jobs",
+		Run:     func(seed int64) (any, error) { return RunIterative(seed) },
+		Render: func(result any, sel Selection) []string {
+			return []string{result.(IterativeReport).String()}
+		},
+		Merge: func(rep *FullReport, result any) {
+			rep.Iterative = result.(IterativeReport).Rows
+		},
+	}
+}

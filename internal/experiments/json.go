@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"dyrs/internal/metrics"
+	"dyrs/internal/runner"
 	"dyrs/internal/sim"
 )
 
@@ -89,106 +90,41 @@ type OrderRowJSON struct {
 	LargeMean float64 `json:"large_mean_seconds"`
 }
 
-// RunAll executes every experiment and aggregates the results.
+// RunAll executes every registered experiment serially and aggregates
+// the results. It is RunAllParallel with one worker.
 func RunAll(seed int64) (*FullReport, error) {
+	return RunAllParallel(seed, 1, nil)
+}
+
+// RunAllParallel executes every registered experiment on a worker pool
+// of the given size (jobs <= 0 means GOMAXPROCS) and merges the results
+// into one report in registry order, so the output is byte-identical at
+// any worker count. Progress, when non-nil, receives the runner's
+// serialized start/done events.
+func RunAllParallel(seed int64, jobs int, progress func(runner.Event)) (*FullReport, error) {
+	reg := Registry()
+	results := runner.Run(registryJobs(reg, seed), runner.Options{Jobs: jobs, Progress: progress})
+	if err := runner.FirstError(results); err != nil {
+		return nil, err
+	}
 	out := &FullReport{Seed: seed}
-
-	tr := RunTrace(seed)
-	out.Trace.MeanUtilization = tr.Trace.MeanUtilization()
-	out.Trace.FractionUnder4Pct = tr.Trace.FractionUnder(0.04)
-	out.Trace.FractionLeadCovers = tr.Trace.FractionLeadCoversRead()
-	out.Trace.MeanLeadSeconds = tr.Trace.MeanLeadSeconds()
-
-	hive, err := RunHive(seed)
-	if err != nil {
-		return nil, err
+	for i, res := range results {
+		reg[i].Merge(out, res.Value)
 	}
-	for _, r := range hive.Rows {
-		out.Hive = append(out.Hive, HiveRowJSON{
-			Query: r.Query, InputGB: r.InputGB,
-			Durations: r.Durations, Speedup: r.Speedup(DYRS),
-		})
-	}
-
-	swim, err := RunSWIM(seed)
-	if err != nil {
-		return nil, err
-	}
-	out.SWIM.MeanJobSeconds = map[Policy]float64{}
-	out.SWIM.BinMeans = map[Policy]map[string]float64{}
-	out.SWIM.MapperMean = map[Policy]float64{}
-	for p, run := range swim.Runs {
-		out.SWIM.MeanJobSeconds[p] = run.MeanJobSeconds()
-		out.SWIM.BinMeans[p] = run.MeanJobSecondsByBin()
-		out.SWIM.MapperMean[p] = run.MapperDurations.Mean()
-	}
-	out.SWIM.DYRSBytes = swim.Runs[DYRS].BytesMigrated
-	out.SWIM.HypBytes = swim.Runs[RAM].BytesMigrated
-
-	fig8, err := RunFig8(seed)
-	if err != nil {
-		return nil, err
-	}
-	out.Fig8.SlowNode = fig8.SlowNode
-	out.Fig8.Reads = fig8.Reads
-
-	t2, err := RunTableII(seed)
-	if err != nil {
-		return nil, err
-	}
-	for _, r := range t2.Rows {
-		out.TableII = append(out.TableII, TableIIRowJSON{
-			Pattern: r.Pattern, Figure: r.Figure, Runtime: r.Runtime,
-			EstNode1: r.EstimateNode1, EstNode2: r.EstimateNode2,
-		})
-	}
-
-	f10, err := RunFig10(seed)
-	if err != nil {
-		return nil, err
-	}
-	out.Fig10.NaiveSlowTail, out.Fig10.NaiveOverhangSec = f10.SlowTail(Naive, 10)
-	out.Fig10.DYRSSlowTail, out.Fig10.DYRSOverhangSec = f10.SlowTail(DYRS, 10)
-
-	f11, err := RunFig11(seed)
-	if err != nil {
-		return nil, err
-	}
-	for _, r := range f11.Rows {
-		out.Fig11 = append(out.Fig11, Fig11RowJSON{
-			SizeGB: r.SizeGB, ExtraLead: r.ExtraLead,
-			Map: r.MapSeconds, Total: r.TotalSeconds,
-		})
-	}
-
-	if out.Motivation, err = RunMotivation(seed); err != nil {
-		return nil, err
-	}
-
-	order, err := RunOrderPolicies(seed)
-	if err != nil {
-		return nil, err
-	}
-	for _, r := range order.Rows {
-		out.Order = append(out.Order, OrderRowJSON{
-			Order: r.Order.String(), MeanJob: r.MeanJob,
-			SmallMean: r.SmallMean, LargeMean: r.LargeMean,
-		})
-	}
-
-	hc, err := RunHotCold(seed)
-	if err != nil {
-		return nil, err
-	}
-	out.HotCold = hc.Rows
-
-	it, err := RunIterative(seed)
-	if err != nil {
-		return nil, err
-	}
-	out.Iterative = it.Rows
-
 	return out, nil
+}
+
+// registryJobs adapts experiments to runner jobs, preserving order.
+func registryJobs(reg []Experiment, seed int64) []runner.Job {
+	out := make([]runner.Job, len(reg))
+	for i, exp := range reg {
+		exp := exp
+		out[i] = runner.Job{
+			Name: exp.Name,
+			Run:  func() (any, error) { return exp.Run(seed) },
+		}
+	}
+	return out
 }
 
 // WriteJSON writes the report as indented JSON.

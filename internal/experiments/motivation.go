@@ -158,3 +158,18 @@ func RunMotivation(seed int64) (MotivationReport, error) {
 	}
 	return rep, nil
 }
+
+// motivationExperiment registers the §I read-speedup micro-comparison.
+func motivationExperiment() Experiment {
+	return Experiment{
+		Name:    "motivation",
+		Summary: "§I micro-comparison: RAM vs SSD vs disk block reads",
+		Run:     func(seed int64) (any, error) { return RunMotivation(seed) },
+		Render: func(result any, sel Selection) []string {
+			return []string{result.(MotivationReport).String()}
+		},
+		Merge: func(rep *FullReport, result any) {
+			rep.Motivation = result.(MotivationReport)
+		},
+	}
+}

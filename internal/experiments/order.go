@@ -131,3 +131,23 @@ func RunOrderPolicies(seed int64) (OrderReport, error) {
 	}
 	return rep, nil
 }
+
+// orderExperiment registers the migration-ordering future-work study.
+func orderExperiment() Experiment {
+	return Experiment{
+		Name:    "order",
+		Summary: "future work: FIFO/SJF/EDF migration ordering policies",
+		Run:     func(seed int64) (any, error) { return RunOrderPolicies(seed) },
+		Render: func(result any, sel Selection) []string {
+			return []string{result.(OrderReport).String()}
+		},
+		Merge: func(rep *FullReport, result any) {
+			for _, r := range result.(OrderReport).Rows {
+				rep.Order = append(rep.Order, OrderRowJSON{
+					Order: r.Order.String(), MeanJob: r.MeanJob,
+					SmallMean: r.SmallMean, LargeMean: r.LargeMean,
+				})
+			}
+		},
+	}
+}

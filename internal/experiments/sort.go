@@ -377,3 +377,87 @@ func (r Fig11Report) String() string {
 	}
 	return t.String()
 }
+
+// fig8Experiment registers the per-DataNode read distribution study.
+func fig8Experiment() Experiment {
+	return Experiment{
+		Name:    "fig8",
+		Summary: "Fig. 8: per-DataNode read distribution, homogeneous vs slow-node",
+		Run:     func(seed int64) (any, error) { return RunFig8(seed) },
+		Render: func(result any, sel Selection) []string {
+			return []string{result.(Fig8Report).String()}
+		},
+		Merge: func(rep *FullReport, result any) {
+			r := result.(Fig8Report)
+			rep.Fig8.SlowNode = r.SlowNode
+			rep.Fig8.Reads = r.Reads
+		},
+	}
+}
+
+// tableIIExperiment registers the interference patterns (Table II, Fig. 9).
+func tableIIExperiment() Experiment {
+	return Experiment{
+		Name:    "table2",
+		Aliases: []string{"fig9"},
+		Summary: "Table II, Fig. 9: sort runtime and estimates under interference",
+		Run:     func(seed int64) (any, error) { return RunTableII(seed) },
+		Render: func(result any, sel Selection) []string {
+			r := result.(TableIIReport)
+			all := sel.wantsAll("table2")
+			var out []string
+			if all || sel.Has("table2") {
+				out = append(out, r.String())
+			}
+			if all || sel.Has("fig9") {
+				out = append(out, r.Fig9String())
+			}
+			return out
+		},
+		Merge: func(rep *FullReport, result any) {
+			for _, r := range result.(TableIIReport).Rows {
+				rep.TableII = append(rep.TableII, TableIIRowJSON{
+					Pattern: r.Pattern, Figure: r.Figure, Runtime: r.Runtime,
+					EstNode1: r.EstimateNode1, EstNode2: r.EstimateNode2,
+				})
+			}
+		},
+	}
+}
+
+// fig10Experiment registers the end-of-migration straggler timelines.
+func fig10Experiment() Experiment {
+	return Experiment{
+		Name:    "fig10",
+		Summary: "Fig. 10: end-of-migration straggler timelines, DYRS vs naive",
+		Run:     func(seed int64) (any, error) { return RunFig10(seed) },
+		Render: func(result any, sel Selection) []string {
+			return []string{result.(Fig10Report).String()}
+		},
+		Merge: func(rep *FullReport, result any) {
+			r := result.(Fig10Report)
+			rep.Fig10.NaiveSlowTail, rep.Fig10.NaiveOverhangSec = r.SlowTail(Naive, 10)
+			rep.Fig10.DYRSSlowTail, rep.Fig10.DYRSOverhangSec = r.SlowTail(DYRS, 10)
+		},
+	}
+}
+
+// fig11Experiment registers the size x lead-time sort sweep.
+func fig11Experiment() Experiment {
+	return Experiment{
+		Name:    "fig11",
+		Summary: "Fig. 11: sort sweep over input size and inserted lead-time",
+		Run:     func(seed int64) (any, error) { return RunFig11(seed) },
+		Render: func(result any, sel Selection) []string {
+			return []string{result.(Fig11Report).String()}
+		},
+		Merge: func(rep *FullReport, result any) {
+			for _, r := range result.(Fig11Report).Rows {
+				rep.Fig11 = append(rep.Fig11, Fig11RowJSON{
+					SizeGB: r.SizeGB, ExtraLead: r.ExtraLead,
+					Map: r.MapSeconds, Total: r.TotalSeconds,
+				})
+			}
+		},
+	}
+}

@@ -324,3 +324,44 @@ func RunSWIM(seed int64) (SWIMReport, error) {
 	}
 	return rep, nil
 }
+
+// swimExperiment registers Table I and Figs. 5-7.
+func swimExperiment() Experiment {
+	return Experiment{
+		Name:    "swim",
+		Aliases: []string{"table1", "fig5", "fig6", "fig7"},
+		Summary: "Table I, Figs. 5-7: 200-job trace-based workload",
+		Run:     func(seed int64) (any, error) { return RunSWIM(seed) },
+		Render: func(result any, sel Selection) []string {
+			r := result.(SWIMReport)
+			all := sel.wantsAll("swim")
+			var out []string
+			if all || sel.Has("table1") {
+				out = append(out, r.TableI())
+			}
+			if all || sel.Has("fig5") {
+				out = append(out, r.Fig5())
+			}
+			if all || sel.Has("fig6") {
+				out = append(out, r.Fig6())
+			}
+			if all || sel.Has("fig7") {
+				out = append(out, r.Fig7())
+			}
+			return out
+		},
+		Merge: func(rep *FullReport, result any) {
+			r := result.(SWIMReport)
+			rep.SWIM.MeanJobSeconds = map[Policy]float64{}
+			rep.SWIM.BinMeans = map[Policy]map[string]float64{}
+			rep.SWIM.MapperMean = map[Policy]float64{}
+			for p, run := range r.Runs {
+				rep.SWIM.MeanJobSeconds[p] = run.MeanJobSeconds()
+				rep.SWIM.BinMeans[p] = run.MeanJobSecondsByBin()
+				rep.SWIM.MapperMean[p] = run.MapperDurations.Mean()
+			}
+			rep.SWIM.DYRSBytes = r.Runs[DYRS].BytesMigrated
+			rep.SWIM.HypBytes = r.Runs[RAM].BytesMigrated
+		},
+	}
+}

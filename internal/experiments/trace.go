@@ -19,6 +19,38 @@ func RunTrace(seed int64) TraceReport {
 	return TraceReport{Trace: gtrace.Generate(cfg)}
 }
 
+// traceExperiment registers Figs. 1-3.
+func traceExperiment() Experiment {
+	return Experiment{
+		Name:    "trace",
+		Aliases: []string{"fig1", "fig2", "fig3"},
+		Summary: "Figs. 1-3: Google-trace motivation analyses",
+		Run:     func(seed int64) (any, error) { return RunTrace(seed), nil },
+		Render: func(result any, sel Selection) []string {
+			r := result.(TraceReport)
+			all := sel.wantsAll("trace")
+			var out []string
+			if all || sel.Has("fig1") {
+				out = append(out, r.Fig1())
+			}
+			if all || sel.Has("fig2") {
+				out = append(out, r.Fig2())
+			}
+			if all || sel.Has("fig3") {
+				out = append(out, r.Fig3())
+			}
+			return out
+		},
+		Merge: func(rep *FullReport, result any) {
+			r := result.(TraceReport)
+			rep.Trace.MeanUtilization = r.Trace.MeanUtilization()
+			rep.Trace.FractionUnder4Pct = r.Trace.FractionUnder(0.04)
+			rep.Trace.FractionLeadCovers = r.Trace.FractionLeadCoversRead()
+			rep.Trace.MeanLeadSeconds = r.Trace.MeanLeadSeconds()
+		},
+	}
+}
+
 // Fig1 renders per-node disk utilization over 24h for three nodes chosen
 // like the paper's: the busiest node, a mid-load node, and a light one.
 func (r TraceReport) Fig1() string {

@@ -1,0 +1,186 @@
+// Package runner schedules independent jobs over a bounded worker pool.
+//
+// It exists so the experiment suite (internal/experiments) can exploit
+// the fact that every paper figure/table is an isolated, seeded
+// discrete-event simulation: jobs share nothing, so they can run
+// concurrently without changing any result. The runner guarantees
+//
+//   - stable output order: results are returned in input order no
+//     matter which worker finished first;
+//   - panic isolation: a panicking job fails that job (with the stack
+//     captured in its error), not the process;
+//   - per-job wall-clock timing and serialized progress events.
+//
+// With Jobs=1 the single worker consumes jobs strictly in input order,
+// so a one-worker run is observationally identical to a plain serial
+// loop — the property the determinism verifier (dyrs-bench -verify)
+// builds on.
+package runner
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"time"
+)
+
+// Job is one independent unit of work.
+type Job struct {
+	// Name identifies the job in results and progress events.
+	Name string
+	// Run does the work and returns its result.
+	Run func() (any, error)
+}
+
+// Result is one job's outcome. The slice returned by Run preserves the
+// input order of the jobs regardless of completion order.
+type Result struct {
+	Name string
+	// Index is the job's position in the input slice.
+	Index int
+	// Value is what Job.Run returned (nil on error).
+	Value any
+	// Err is the job's error; for a recovered panic it wraps the panic
+	// value and carries the goroutine stack.
+	Err error
+	// Panicked reports whether Err came from a recovered panic.
+	Panicked bool
+	// Elapsed is the job's wall-clock duration.
+	Elapsed time.Duration
+}
+
+// EventKind distinguishes progress notifications.
+type EventKind int
+
+// The progress event kinds.
+const (
+	// EventStart fires when a worker picks up a job.
+	EventStart EventKind = iota
+	// EventDone fires when a job finishes (successfully or not).
+	EventDone
+)
+
+func (k EventKind) String() string {
+	if k == EventStart {
+		return "start"
+	}
+	return "done"
+}
+
+// Event is one progress notification. Events are delivered serially
+// (never concurrently), but EventStart/EventDone pairs of different
+// jobs interleave when Jobs > 1.
+type Event struct {
+	Kind  EventKind
+	Name  string
+	Index int
+	// Err is set on EventDone for a failed job.
+	Err error
+	// Elapsed is set on EventDone.
+	Elapsed time.Duration
+	// Done counts finished jobs so far (including this one on
+	// EventDone); Total is the job count.
+	Done  int
+	Total int
+}
+
+// Options configures a Run.
+type Options struct {
+	// Jobs bounds worker concurrency; <=0 means runtime.GOMAXPROCS(0).
+	Jobs int
+	// Progress, when non-nil, receives serialized progress events.
+	Progress func(Event)
+}
+
+// Run executes the jobs on a worker pool and returns their results in
+// input order. It never panics on a panicking job; the panic is
+// captured into that job's Result.
+func Run(jobs []Job, opt Options) []Result {
+	workers := opt.Jobs
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	results := make([]Result, len(jobs))
+	if len(jobs) == 0 {
+		return results
+	}
+
+	var (
+		mu   sync.Mutex // serializes Progress and the done counter
+		done int
+		next = make(chan int) // indices dispatched in input order
+		wg   sync.WaitGroup
+	)
+	emit := func(ev Event) {
+		if opt.Progress == nil && ev.Kind == EventStart {
+			return
+		}
+		mu.Lock()
+		if ev.Kind == EventDone {
+			done++
+			ev.Done = done
+		}
+		ev.Total = len(jobs)
+		if opt.Progress != nil {
+			opt.Progress(ev)
+		}
+		mu.Unlock()
+	}
+
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				j := jobs[i]
+				emit(Event{Kind: EventStart, Name: j.Name, Index: i})
+				start := time.Now()
+				v, err, panicked := capture(j)
+				res := Result{
+					Name: j.Name, Index: i,
+					Value: v, Err: err, Panicked: panicked,
+					Elapsed: time.Since(start),
+				}
+				results[i] = res
+				emit(Event{
+					Kind: EventDone, Name: j.Name, Index: i,
+					Err: err, Elapsed: res.Elapsed,
+				})
+			}
+		}()
+	}
+	for i := range jobs {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return results
+}
+
+// capture runs the job, converting a panic into an error that carries
+// the panic value and the goroutine stack.
+func capture(j Job) (v any, err error, panicked bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			v, panicked = nil, true
+			err = fmt.Errorf("runner: job %q panicked: %v\n%s", j.Name, r, debug.Stack())
+		}
+	}()
+	v, err = j.Run()
+	return v, err, false
+}
+
+// FirstError returns the error of the lowest-index failed result, or
+// nil if every job succeeded.
+func FirstError(results []Result) error {
+	for _, r := range results {
+		if r.Err != nil {
+			return fmt.Errorf("runner: job %q: %w", r.Name, r.Err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,195 @@
+package runner
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestRunPreservesInputOrder(t *testing.T) {
+	t.Parallel()
+	const n = 50
+	jobs := make([]Job, n)
+	for i := range jobs {
+		i := i
+		jobs[i] = Job{
+			Name: fmt.Sprintf("job%d", i),
+			Run:  func() (any, error) { return i * 10, nil },
+		}
+	}
+	for _, workers := range []int{1, 3, 16} {
+		results := Run(jobs, Options{Jobs: workers})
+		if len(results) != n {
+			t.Fatalf("jobs=%d: got %d results", workers, len(results))
+		}
+		for i, r := range results {
+			if r.Index != i || r.Name != jobs[i].Name || r.Value != i*10 || r.Err != nil {
+				t.Errorf("jobs=%d: result %d = %+v", workers, i, r)
+			}
+		}
+	}
+}
+
+func TestRunSerialEqualsOneWorker(t *testing.T) {
+	t.Parallel()
+	// With Jobs=1 the single worker must consume jobs strictly in input
+	// order — the property -verify's serial pass relies on.
+	var order []int
+	var mu sync.Mutex
+	jobs := make([]Job, 20)
+	for i := range jobs {
+		i := i
+		jobs[i] = Job{Name: fmt.Sprintf("j%d", i), Run: func() (any, error) {
+			mu.Lock()
+			order = append(order, i)
+			mu.Unlock()
+			return i, nil
+		}}
+	}
+	Run(jobs, Options{Jobs: 1})
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("execution order %v not serial", order)
+		}
+	}
+}
+
+func TestPanicIsolation(t *testing.T) {
+	t.Parallel()
+	jobs := []Job{
+		{Name: "ok1", Run: func() (any, error) { return "a", nil }},
+		{Name: "boom", Run: func() (any, error) { panic("kaput") }},
+		{Name: "ok2", Run: func() (any, error) { return "b", nil }},
+	}
+	results := Run(jobs, Options{Jobs: 2})
+	if results[0].Err != nil || results[2].Err != nil {
+		t.Fatalf("healthy jobs failed: %v / %v", results[0].Err, results[2].Err)
+	}
+	r := results[1]
+	if !r.Panicked || r.Err == nil {
+		t.Fatalf("panic not captured: %+v", r)
+	}
+	if !strings.Contains(r.Err.Error(), "kaput") || !strings.Contains(r.Err.Error(), "boom") {
+		t.Errorf("panic error missing context: %v", r.Err)
+	}
+	// The stack trace should point at the panicking function.
+	if !strings.Contains(r.Err.Error(), "runner_test.go") {
+		t.Errorf("panic error missing stack: %v", r.Err)
+	}
+}
+
+func TestFirstError(t *testing.T) {
+	t.Parallel()
+	errBoom := errors.New("boom")
+	results := []Result{
+		{Name: "a", Index: 0},
+		{Name: "b", Index: 1, Err: errBoom},
+		{Name: "c", Index: 2, Err: errors.New("later")},
+	}
+	err := FirstError(results)
+	if !errors.Is(err, errBoom) {
+		t.Fatalf("FirstError = %v, want wrapped %v", err, errBoom)
+	}
+	if !strings.Contains(err.Error(), `"b"`) {
+		t.Errorf("FirstError missing job name: %v", err)
+	}
+	if FirstError(results[:1]) != nil {
+		t.Error("FirstError on clean results != nil")
+	}
+}
+
+func TestProgressEvents(t *testing.T) {
+	t.Parallel()
+	var events []Event
+	var mu sync.Mutex
+	jobs := []Job{
+		{Name: "a", Run: func() (any, error) { return nil, nil }},
+		{Name: "b", Run: func() (any, error) { return nil, errors.New("x") }},
+		{Name: "c", Run: func() (any, error) { return nil, nil }},
+	}
+	Run(jobs, Options{Jobs: 2, Progress: func(ev Event) {
+		mu.Lock()
+		events = append(events, ev)
+		mu.Unlock()
+	}})
+	var starts, dones int
+	seenDone := map[int]bool{}
+	for _, ev := range events {
+		if ev.Total != 3 {
+			t.Errorf("event total = %d", ev.Total)
+		}
+		switch ev.Kind {
+		case EventStart:
+			starts++
+			if seenDone[ev.Index] {
+				t.Errorf("job %d started after it finished", ev.Index)
+			}
+		case EventDone:
+			dones++
+			seenDone[ev.Index] = true
+			if ev.Done != dones {
+				t.Errorf("done counter %d at done event %d", ev.Done, dones)
+			}
+			if ev.Name == "b" && ev.Err == nil {
+				t.Error("failed job's done event lost its error")
+			}
+		}
+	}
+	if starts != 3 || dones != 3 {
+		t.Fatalf("starts=%d dones=%d, want 3/3", starts, dones)
+	}
+}
+
+func TestWorkerBound(t *testing.T) {
+	t.Parallel()
+	// At most opt.Jobs jobs may be in flight simultaneously.
+	var inFlight, peak atomic.Int32
+	gate := make(chan struct{})
+	jobs := make([]Job, 12)
+	for i := range jobs {
+		jobs[i] = Job{Name: "j", Run: func() (any, error) {
+			n := inFlight.Add(1)
+			for {
+				p := peak.Load()
+				if n <= p || peak.CompareAndSwap(p, n) {
+					break
+				}
+			}
+			<-gate
+			inFlight.Add(-1)
+			return nil, nil
+		}}
+	}
+	done := make(chan struct{})
+	go func() {
+		Run(jobs, Options{Jobs: 3})
+		close(done)
+	}()
+	close(gate)
+	<-done
+	if p := peak.Load(); p > 3 {
+		t.Errorf("peak concurrency %d exceeds bound 3", p)
+	}
+}
+
+func TestZeroAndEmpty(t *testing.T) {
+	t.Parallel()
+	if got := Run(nil, Options{}); len(got) != 0 {
+		t.Errorf("Run(nil) = %v", got)
+	}
+	// Jobs <= 0 falls back to GOMAXPROCS and still runs everything.
+	results := Run([]Job{{Name: "a", Run: func() (any, error) { return 1, nil }}}, Options{Jobs: -5})
+	if len(results) != 1 || results[0].Value != 1 {
+		t.Errorf("results = %+v", results)
+	}
+}
+
+func TestEventKindString(t *testing.T) {
+	t.Parallel()
+	if EventStart.String() != "start" || EventDone.String() != "done" {
+		t.Error("EventKind strings wrong")
+	}
+}

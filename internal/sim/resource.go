@@ -91,12 +91,15 @@ func (f *Flow) Active() bool { return f.active }
 // naturally: interference flows, task reads and migrations all compete on
 // the same Resource and each automatically slows the others down.
 type Resource struct {
-	eng        *Engine
-	name       string
-	base       float64 // bytes/sec nominal
-	scale      float64 // dynamic capacity multiplier (hardware heterogeneity)
-	eff        EfficiencyFunc
-	flows      map[*Flow]struct{}
+	eng   *Engine
+	name  string
+	base  float64 // bytes/sec nominal
+	scale float64 // dynamic capacity multiplier (hardware heterogeneity)
+	eff   EfficiencyFunc
+	// flows keeps admission order: iteration order drives float
+	// summation and completion-event scheduling, and a map here would
+	// make identical seeds give different results run to run.
+	flows      []*Flow
 	lastUpdate Time
 
 	// accounting
@@ -119,7 +122,6 @@ func NewResource(eng *Engine, name string, capacity float64, eff EfficiencyFunc)
 		base:  capacity,
 		scale: 1,
 		eff:   eff,
-		flows: make(map[*Flow]struct{}),
 	}
 }
 
@@ -137,7 +139,7 @@ func (r *Resource) EffectiveCapacity() float64 {
 
 func (r *Resource) totalWeight() float64 {
 	var w float64
-	for f := range r.flows {
+	for _, f := range r.flows {
 		w += f.weight
 	}
 	return w
@@ -214,7 +216,7 @@ func (r *Resource) StartWeighted(size Bytes, weight float64, done func(f *Flow))
 		done:      done,
 		active:    true,
 	}
-	r.flows[f] = struct{}{}
+	r.flows = append(r.flows, f)
 	r.rebalance()
 	return f
 }
@@ -235,7 +237,7 @@ func (r *Resource) StartLoad(weight float64) *Flow {
 		started:   r.eng.Now(),
 		active:    true,
 	}
-	r.flows[f] = struct{}{}
+	r.flows = append(r.flows, f)
 	r.rebalance()
 	return f
 }
@@ -253,8 +255,19 @@ func (f *Flow) Cancel() {
 		r.eng.Cancel(f.ev)
 		f.ev = nil
 	}
-	delete(r.flows, f)
+	r.remove(f)
 	r.rebalance()
+}
+
+// remove deletes a flow while preserving the admission order of the
+// remaining flows.
+func (r *Resource) remove(f *Flow) {
+	for i, g := range r.flows {
+		if g == f {
+			r.flows = append(r.flows[:i], r.flows[i+1:]...)
+			return
+		}
+	}
 }
 
 // advance moves every active flow forward to the current instant at its
@@ -269,7 +282,7 @@ func (r *Resource) advance() {
 	if len(r.flows) > 0 {
 		r.busy += now.Sub(r.lastUpdate)
 	}
-	for f := range r.flows {
+	for _, f := range r.flows {
 		moved := f.rate * dt
 		if moved > f.remaining {
 			moved = f.remaining
@@ -294,7 +307,7 @@ func (r *Resource) rebalance() {
 	}
 	totalWeight := r.totalWeight()
 	totalRate := r.base * r.scale * r.eff(totalWeight)
-	for f := range r.flows {
+	for _, f := range r.flows {
 		f.rate = totalRate * f.weight / totalWeight
 		if f.ev != nil {
 			r.eng.Cancel(f.ev)
@@ -321,7 +334,7 @@ func (r *Resource) complete(f *Flow) {
 	}
 	f.active = false
 	f.ev = nil
-	delete(r.flows, f)
+	r.remove(f)
 	r.rebalance()
 	if f.done != nil {
 		f.done(f)
