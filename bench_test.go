@@ -280,12 +280,7 @@ func estimateReactionLag(b *testing.B, disableUpdates bool) float64 {
 		b.Fatal(err)
 	}
 	const onset = 30.0
-	var node0 *cluster.Node
-	for _, n := range cl.Nodes() {
-		if n.ID == 0 {
-			node0 = n
-		}
-	}
+	node0 := cl.Node(0)
 	eng.Schedule(time.Duration(onset*float64(time.Second)), func() {
 		node0.StartInterference(8, 2)
 	})
@@ -369,26 +364,83 @@ func BenchmarkAblationBindingPolicy(b *testing.B) {
 
 // --- Microbenchmarks of the substrate ---
 
+// BenchmarkSimEngineEvents measures the event-queue hot path: each
+// iteration schedules a batch of 64 timers, cancels half of them (the
+// Resource rebalance pattern), and drains the queue — so the drain is
+// inside the measured region and ns/op covers the full schedule → cancel
+// → fire lifecycle.
 func BenchmarkSimEngineEvents(b *testing.B) {
 	eng := sim.NewEngine(1)
+	nop := func() {}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		eng.Schedule(time.Duration(i%1000)*time.Millisecond, func() {})
+		var evs [64]*sim.Event
+		for j := range evs {
+			evs[j] = eng.Schedule(time.Duration(j%16)*time.Millisecond, nop)
+		}
+		for j := 0; j < len(evs); j += 2 {
+			eng.Cancel(evs[j])
+		}
+		eng.Run()
 	}
-	eng.Run()
 }
 
+// BenchmarkResourceFlows measures the fluid-flow hot path: each iteration
+// admits 32 concurrent flows on one disk (every admission rebalances all
+// active flows) and runs them to completion inside the measured region.
 func BenchmarkResourceFlows(b *testing.B) {
 	eng := sim.NewEngine(1)
 	r := sim.NewResource(eng, "disk", 130*float64(sim.MB), sim.SeekEfficiency(0.05))
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		r.Start(256*sim.MB, nil)
-		if i%16 == 15 {
-			eng.Run()
+		for j := 0; j < 32; j++ {
+			r.Start(256*sim.MB, nil)
 		}
+		eng.Run()
+	}
+}
+
+// TestScheduleHotPathAllocs pins the engine's steady-state allocation
+// behaviour: once the event pool and heap are warm, scheduling, cancelling
+// and firing events allocates nothing.
+func TestScheduleHotPathAllocs(t *testing.T) {
+	eng := sim.NewEngine(1)
+	nop := func() {}
+	for i := 0; i < 128; i++ {
+		eng.Schedule(time.Millisecond, nop)
 	}
 	eng.Run()
+	avg := testing.AllocsPerRun(200, func() {
+		ev := eng.Schedule(time.Second, nop)
+		eng.Cancel(ev)
+		eng.Schedule(time.Millisecond, nop)
+		eng.Run()
+	})
+	if avg != 0 {
+		t.Errorf("engine schedule/cancel/fire hot path allocates %.2f objects/op, want 0", avg)
+	}
+}
+
+// TestStartHotPathAllocs pins the resource admission hot path: a
+// steady-state Start → complete cycle allocates exactly the Flow object —
+// the completion timer and its callback come from the engine's pool and
+// the resource's pre-bound timer closure.
+func TestStartHotPathAllocs(t *testing.T) {
+	eng := sim.NewEngine(1)
+	r := sim.NewResource(eng, "disk", 130*float64(sim.MB), sim.SeekEfficiency(0.05))
+	for i := 0; i < 64; i++ {
+		r.Start(sim.MB, nil)
+	}
+	eng.Run()
+	avg := testing.AllocsPerRun(200, func() {
+		r.Start(sim.MB, nil)
+		eng.Run()
+	})
+	if avg > 1 {
+		t.Errorf("Start hot path allocates %.2f objects/op, want <= 1 (the Flow)", avg)
+	}
 }
 
 func BenchmarkAlgorithm1UpdateTargets(b *testing.B) {

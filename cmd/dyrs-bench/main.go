@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	dyrs-bench [-seed N] [-jobs N] [-only fig4,table1,...] [-json] [-verify]
+//	dyrs-bench [-seed N] [-jobs N] [-only fig4,table1,...] [-json] [-verify] [-bench]
 //
 // Experiments are independent seeded simulations, so they run on a
 // worker pool (-jobs, default GOMAXPROCS) with output merged in paper
@@ -19,24 +19,42 @@
 // seed — and fails unless each experiment's canonical JSON hashes
 // identically, turning "identical seeds give identical results" into a
 // machine-checked invariant.
+//
+// -bench times every experiment -benchreps times and writes a canonical
+// timing document (schema dyrs-bench/v1) to -benchout (default
+// BENCH.json), which CI uploads per PR so suite-level performance
+// regressions are visible next to the Go microbenchmarks.
+//
+// -cpuprofile/-memprofile write pprof profiles of whatever mode ran,
+// for digging into where simulation time and memory actually go.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"dyrs/internal/experiments"
 	"dyrs/internal/runner"
 )
 
-func main() {
+// main delegates to run so deferred profile flushes happen before exit.
+func main() { os.Exit(run()) }
+
+func run() int {
 	seed := flag.Int64("seed", 42, "simulation seed; identical seeds give identical results")
 	only := flag.String("only", "", "comma-separated experiment subset (default: all)")
 	asJSON := flag.Bool("json", false, "emit every experiment as one JSON document instead of text tables")
 	jobs := flag.Int("jobs", 0, "max experiments running concurrently (0 = GOMAXPROCS)")
 	verify := flag.Bool("verify", false, "run every experiment serially and in parallel and fail on any result divergence")
+	bench := flag.Bool("bench", false, "time every experiment and write a canonical timing document to -benchout")
+	benchOut := flag.String("benchout", "BENCH.json", "output path for the -bench timing document")
+	benchReps := flag.Int("benchreps", 3, "repetitions per experiment for -bench")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	quiet := flag.Bool("q", false, "suppress per-experiment progress on stderr")
 	list := flag.Bool("list", false, "list experiment names and exit")
 	flag.Parse()
@@ -49,19 +67,51 @@ func main() {
 			}
 			fmt.Printf("%-32s %s\n", names, e.Summary)
 		}
-		return
+		return 0
 	}
 
-	fail := func(err error) {
+	code := 0
+	fail := func(err error) int {
 		fmt.Fprintln(os.Stderr, "dyrs-bench:", err)
-		os.Exit(1)
+		return 1
 	}
 	progress := progressPrinter(*quiet)
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return fail(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return fail(err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "dyrs-bench:", err)
+				code = 1
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile shows retained memory
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "dyrs-bench:", err)
+				code = 1
+			}
+		}()
+	}
 
 	selected, sel, err := experiments.Select(*only)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dyrs-bench:", err)
-		os.Exit(2)
+		return 2
 	}
 
 	switch {
@@ -71,12 +121,33 @@ func main() {
 		}
 		rep, err := experiments.VerifyDeterminism(*seed, *jobs, progress)
 		if err != nil {
-			fail(err)
+			return fail(err)
 		}
 		printVerify(rep)
 		if !rep.OK() {
-			os.Exit(1)
+			return 1
 		}
+
+	case *bench:
+		if *only != "" {
+			fmt.Fprintln(os.Stderr, "dyrs-bench: -bench always times every experiment; ignoring -only")
+		}
+		rep, err := experiments.RunBench(*seed, *benchReps, *jobs, progress)
+		if err != nil {
+			return fail(err)
+		}
+		f, err := os.Create(*benchOut)
+		if err != nil {
+			return fail(err)
+		}
+		if err := rep.WriteJSON(f); err != nil {
+			f.Close()
+			return fail(err)
+		}
+		if err := f.Close(); err != nil {
+			return fail(err)
+		}
+		printBench(rep, *benchOut)
 
 	case *asJSON:
 		if *only != "" {
@@ -84,10 +155,10 @@ func main() {
 		}
 		rep, err := experiments.RunAllParallel(*seed, *jobs, progress)
 		if err != nil {
-			fail(err)
+			return fail(err)
 		}
 		if err := rep.WriteJSON(os.Stdout); err != nil {
-			fail(err)
+			return fail(err)
 		}
 
 	default:
@@ -95,7 +166,7 @@ func main() {
 		results := runner.Run(experimentJobs(selected, *seed),
 			runner.Options{Jobs: *jobs, Progress: progress})
 		if err := runner.FirstError(results); err != nil {
-			fail(err)
+			return fail(err)
 		}
 		for i, res := range results {
 			for _, section := range selected[i].Render(res.Value, sel) {
@@ -105,6 +176,7 @@ func main() {
 		fmt.Printf("(all requested experiments regenerated in %.2fs wall-clock)\n",
 			time.Since(start).Seconds())
 	}
+	return code
 }
 
 // experimentJobs adapts selected experiments to runner jobs.
@@ -159,4 +231,15 @@ func printVerify(rep experiments.VerifyReport) {
 	} else {
 		fmt.Printf("PASS: all %d experiments bit-identical serial vs parallel\n", len(rep.Rows))
 	}
+}
+
+// printBench renders a one-line-per-experiment timing summary.
+func printBench(rep *experiments.BenchReport, path string) {
+	fmt.Printf("suite benchmark: seed %d, %d rep(s), jobs=%d, %s %s/%s\n",
+		rep.Seed, rep.Reps, rep.Jobs, rep.GoVersion, rep.GOOS, rep.GOARCH)
+	for _, row := range rep.Rows {
+		fmt.Printf("  %-12s min %7.3fs  mean %7.3fs  max %7.3fs\n",
+			row.Name, row.MinSeconds, row.MeanSeconds, row.MaxSeconds)
+	}
+	fmt.Printf("total %.2fs wall-clock; wrote %s\n", rep.TotalSeconds, path)
 }

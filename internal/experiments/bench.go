@@ -1,0 +1,93 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"dyrs/internal/runner"
+)
+
+// BenchSchema versions the BENCH.json layout so regression tooling can
+// reject documents it does not understand.
+const BenchSchema = "dyrs-bench/v1"
+
+// BenchRow is the timing summary for one experiment across repetitions.
+type BenchRow struct {
+	Name        string  `json:"name"`
+	Reps        int     `json:"reps"`
+	MinSeconds  float64 `json:"min_seconds"`
+	MeanSeconds float64 `json:"mean_seconds"`
+	MaxSeconds  float64 `json:"max_seconds"`
+}
+
+// BenchReport is the canonical macro-benchmark document emitted by
+// `dyrs-bench -bench` and uploaded by CI as BENCH_PR<N>.json: it
+// aggregates per-experiment wall-clock timings plus enough environment
+// detail to judge whether two documents are comparable.
+type BenchReport struct {
+	Schema       string     `json:"schema"`
+	Seed         int64      `json:"seed"`
+	Reps         int        `json:"reps"`
+	Jobs         int        `json:"jobs"`
+	GoVersion    string     `json:"go_version"`
+	GOOS         string     `json:"goos"`
+	GOARCH       string     `json:"goarch"`
+	Rows         []BenchRow `json:"rows"`
+	TotalSeconds float64    `json:"total_seconds"`
+}
+
+// RunBench times every registered experiment reps times on a pool of
+// the given width and summarizes the wall-clock cost per experiment.
+// Results are discarded — only timing is kept — but each rep is a full
+// run from a fresh seeded environment, so the numbers reflect what
+// RunAllParallel actually costs. Progress, when non-nil, receives the
+// runner's serialized events (rep boundaries included).
+func RunBench(seed int64, reps, jobs int, progress func(runner.Event)) (*BenchReport, error) {
+	if reps < 1 {
+		reps = 1
+	}
+	reg := Registry()
+	rep := &BenchReport{
+		Schema:    BenchSchema,
+		Seed:      seed,
+		Reps:      reps,
+		Jobs:      jobs,
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		Rows:      make([]BenchRow, len(reg)),
+	}
+	for i, exp := range reg {
+		rep.Rows[i] = BenchRow{Name: exp.Name, Reps: reps}
+	}
+	start := time.Now()
+	for r := 0; r < reps; r++ {
+		results := runner.Run(registryJobs(reg, seed), runner.Options{Jobs: jobs, Progress: progress})
+		if err := runner.FirstError(results); err != nil {
+			return nil, fmt.Errorf("bench rep %d: %w", r+1, err)
+		}
+		for i, res := range results {
+			secs := res.Elapsed.Seconds()
+			row := &rep.Rows[i]
+			if r == 0 || secs < row.MinSeconds {
+				row.MinSeconds = secs
+			}
+			if r == 0 || secs > row.MaxSeconds {
+				row.MaxSeconds = secs
+			}
+			row.MeanSeconds += secs / float64(reps)
+		}
+	}
+	rep.TotalSeconds = time.Since(start).Seconds()
+	return rep, nil
+}
+
+// WriteJSON writes the report as indented JSON.
+func (r *BenchReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

@@ -1,0 +1,58 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+func TestRunBenchReportShape(t *testing.T) {
+	rep, err := RunBench(1, 2, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Schema != BenchSchema {
+		t.Errorf("schema = %q, want %q", rep.Schema, BenchSchema)
+	}
+	reg := Registry()
+	if len(rep.Rows) != len(reg) {
+		t.Fatalf("rows = %d, want one per registered experiment (%d)", len(rep.Rows), len(reg))
+	}
+	for i, row := range rep.Rows {
+		if row.Name != reg[i].Name {
+			t.Errorf("row %d name = %q, want %q (registry order)", i, row.Name, reg[i].Name)
+		}
+		if row.Reps != 2 {
+			t.Errorf("row %q reps = %d, want 2", row.Name, row.Reps)
+		}
+		if row.MinSeconds < 0 || row.MinSeconds > row.MeanSeconds || row.MeanSeconds > row.MaxSeconds {
+			t.Errorf("row %q has inconsistent stats min=%g mean=%g max=%g",
+				row.Name, row.MinSeconds, row.MeanSeconds, row.MaxSeconds)
+		}
+	}
+	if rep.TotalSeconds <= 0 {
+		t.Errorf("total_seconds = %g, want > 0", rep.TotalSeconds)
+	}
+
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var round BenchReport
+	if err := json.Unmarshal(buf.Bytes(), &round); err != nil {
+		t.Fatalf("BENCH.json does not round-trip: %v", err)
+	}
+	if round.Schema != BenchSchema || len(round.Rows) != len(rep.Rows) {
+		t.Error("round-tripped report lost fields")
+	}
+}
+
+func TestRunBenchClampsReps(t *testing.T) {
+	rep, err := RunBench(1, 0, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Reps != 1 {
+		t.Errorf("reps = %d, want clamped to 1", rep.Reps)
+	}
+}

@@ -1,0 +1,362 @@
+package sim
+
+// Differential test of the optimized Resource (single completion timer,
+// incremental total weight, lazy-cancelled events) against a deliberately
+// naive reference that schedules one eagerly-cancelled completion event
+// per flow and re-sums weights on every rebalance — the design the
+// optimization replaced. Both run the same seeded random op script
+// (Start/StartWeighted/StartLoad/Cancel/SetScale) and must produce
+// identical completion order, completion timestamps, BytesMoved and
+// BusyTime.
+//
+// Weights and scales are powers of two so that incremental and re-summed
+// weight totals are bit-identical (dyadic rationals add and subtract
+// exactly in float64); any divergence is therefore a real behavioural
+// difference, not float noise.
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// --- naive reference implementation (per-flow events, eager cancel) ---
+
+type naiveFlow struct {
+	res       *naiveResource
+	remaining float64
+	weight    float64
+	rate      float64
+	done      func()
+	ev        *Event
+	active    bool
+}
+
+type naiveResource struct {
+	eng        *Engine
+	base       float64
+	scale      float64
+	eff        EfficiencyFunc
+	flows      []*naiveFlow
+	lastUpdate Time
+	bytesMoved float64
+	busy       Duration
+}
+
+func newNaiveResource(eng *Engine, capacity float64, eff EfficiencyFunc) *naiveResource {
+	return &naiveResource{eng: eng, base: capacity, scale: 1, eff: eff}
+}
+
+func (r *naiveResource) totalWeight() float64 {
+	var w float64
+	for _, f := range r.flows {
+		w += f.weight
+	}
+	return w
+}
+
+func (r *naiveResource) start(size Bytes, weight float64, done func()) *naiveFlow {
+	r.advance()
+	f := &naiveFlow{res: r, remaining: float64(size), weight: weight, done: done, active: true}
+	r.flows = append(r.flows, f)
+	r.rebalance()
+	return f
+}
+
+func (r *naiveResource) startLoad(weight float64) *naiveFlow {
+	r.advance()
+	f := &naiveFlow{res: r, remaining: math.Inf(1), weight: weight, active: true}
+	r.flows = append(r.flows, f)
+	r.rebalance()
+	return f
+}
+
+func (f *naiveFlow) cancel() {
+	if !f.active {
+		return
+	}
+	r := f.res
+	r.advance()
+	f.active = false
+	if f.ev != nil {
+		r.eng.Cancel(f.ev)
+		f.ev = nil
+	}
+	r.remove(f)
+	r.rebalance()
+}
+
+func (r *naiveResource) setScale(s float64) {
+	r.advance()
+	r.scale = s
+	r.rebalance()
+}
+
+func (r *naiveResource) remove(f *naiveFlow) {
+	for i, g := range r.flows {
+		if g == f {
+			r.flows = append(r.flows[:i], r.flows[i+1:]...)
+			return
+		}
+	}
+}
+
+func (r *naiveResource) advance() {
+	now := r.eng.Now()
+	dt := now.Sub(r.lastUpdate).Seconds()
+	if dt <= 0 {
+		r.lastUpdate = now
+		return
+	}
+	if len(r.flows) > 0 {
+		r.busy += now.Sub(r.lastUpdate)
+	}
+	for _, f := range r.flows {
+		moved := f.rate * dt
+		if moved > f.remaining {
+			moved = f.remaining
+		}
+		f.remaining -= moved
+		if !math.IsInf(f.remaining, 1) {
+			r.bytesMoved += moved
+		} else {
+			r.bytesMoved += f.rate * dt
+		}
+	}
+	r.lastUpdate = now
+}
+
+// rebalance is the O(flows · log events) hot path under test: it cancels
+// and reschedules one completion event per finite flow, every time.
+func (r *naiveResource) rebalance() {
+	if len(r.flows) == 0 {
+		return
+	}
+	totalWeight := r.totalWeight()
+	totalRate := r.base * r.scale * r.eff(totalWeight)
+	for _, f := range r.flows {
+		f.rate = totalRate * f.weight / totalWeight
+		if f.ev != nil {
+			r.eng.Cancel(f.ev)
+			f.ev = nil
+		}
+		if math.IsInf(f.remaining, 1) {
+			continue
+		}
+		secs := f.remaining / f.rate
+		ff := f
+		f.ev = r.eng.Schedule(Duration(secs*float64(Second)), func() { r.complete(ff) })
+	}
+}
+
+func (r *naiveResource) complete(f *naiveFlow) {
+	r.advance()
+	if f.remaining > 0 {
+		r.bytesMoved += f.remaining
+		f.remaining = 0
+	}
+	f.active = false
+	f.ev = nil
+	r.remove(f)
+	r.rebalance()
+	if f.done != nil {
+		f.done()
+	}
+}
+
+// --- common harness ---
+
+// underTest adapts either implementation to the op script.
+type underTest interface {
+	start(size Bytes, weight float64, done func()) (cancel func())
+	startLoad(weight float64) (cancel func())
+	setScale(s float64)
+	bytesMoved() Bytes
+	busyTime() Duration
+	activeFlows() int
+}
+
+type optimizedUT struct{ r *Resource }
+
+func (u optimizedUT) start(size Bytes, weight float64, done func()) func() {
+	f := u.r.StartWeighted(size, weight, func(*Flow) { done() })
+	return f.Cancel
+}
+func (u optimizedUT) startLoad(weight float64) func() { return u.r.StartLoad(weight).Cancel }
+func (u optimizedUT) setScale(s float64)              { u.r.SetScale(s) }
+func (u optimizedUT) bytesMoved() Bytes               { return u.r.BytesMoved() }
+func (u optimizedUT) busyTime() Duration              { return u.r.BusyTime() }
+func (u optimizedUT) activeFlows() int                { return u.r.ActiveFlows() }
+
+type naiveUT struct{ r *naiveResource }
+
+func (u naiveUT) start(size Bytes, weight float64, done func()) func() {
+	return u.r.start(size, weight, done).cancel
+}
+func (u naiveUT) startLoad(weight float64) func() { return u.r.startLoad(weight).cancel }
+func (u naiveUT) setScale(s float64)              { u.r.setScale(s) }
+func (u naiveUT) bytesMoved() Bytes {
+	u.r.advance()
+	return Bytes(u.r.bytesMoved)
+}
+func (u naiveUT) busyTime() Duration {
+	u.r.advance()
+	return u.r.busy
+}
+func (u naiveUT) activeFlows() int { return len(u.r.flows) }
+
+const (
+	opStart = iota
+	opStartLoad
+	opCancel
+	opSetScale
+)
+
+type scriptOp struct {
+	at     Time
+	kind   int
+	size   Bytes
+	weight float64 // flow weight, or scale for opSetScale
+	pick   int     // which active flow a cancel targets
+}
+
+// genScript builds a random op mix. Weights and scales are powers of two
+// (see file comment); sizes are whole megabytes.
+func genScript(rng *rand.Rand, n int, horizon Duration) []scriptOp {
+	weights := []float64{0.25, 0.5, 1, 1, 2, 4}
+	scales := []float64{0.25, 0.5, 1, 2}
+	ops := make([]scriptOp, n)
+	for i := range ops {
+		o := scriptOp{at: Time(rng.Int63n(int64(horizon)))}
+		switch k := rng.Intn(10); {
+		case k < 5: // half the ops admit finite flows (incl. weight-1 Start)
+			o.kind = opStart
+			o.size = Bytes(1+rng.Intn(512)) * MB
+			o.weight = weights[rng.Intn(len(weights))]
+		case k < 6:
+			o.kind = opStartLoad
+			o.weight = weights[rng.Intn(len(weights))]
+		case k < 9:
+			o.kind = opCancel
+			o.pick = rng.Intn(1 << 16)
+		default:
+			o.kind = opSetScale
+			o.weight = scales[rng.Intn(len(scales))]
+		}
+		ops[i] = o
+	}
+	return ops
+}
+
+type completionRec struct {
+	id int
+	at Time
+}
+
+type scriptResult struct {
+	completions []completionRec
+	bytesMoved  Bytes
+	busy        Duration
+	stillActive int
+}
+
+// runScript replays the ops against one implementation. Flows are named
+// by admission order, so both implementations agree on ids as long as
+// they agree on completion behaviour — which is exactly what the caller
+// asserts.
+func runScript(eng *Engine, r underTest, ops []scriptOp) scriptResult {
+	var res scriptResult
+	var active []int
+	cancels := map[int]func(){}
+	nextID := 0
+	admit := func(o scriptOp) {
+		id := nextID
+		nextID++
+		var cancel func()
+		if o.kind == opStartLoad {
+			cancel = r.startLoad(o.weight)
+		} else {
+			cancel = r.start(o.size, o.weight, func() {
+				res.completions = append(res.completions, completionRec{id, eng.Now()})
+				for i, a := range active {
+					if a == id {
+						active = append(active[:i], active[i+1:]...)
+						break
+					}
+				}
+			})
+		}
+		cancels[id] = cancel
+		active = append(active, id)
+	}
+	for _, o := range ops {
+		o := o
+		eng.At(o.at, func() {
+			switch o.kind {
+			case opStart, opStartLoad:
+				admit(o)
+			case opCancel:
+				if len(active) == 0 {
+					return
+				}
+				idx := o.pick % len(active)
+				id := active[idx]
+				active = append(active[:idx], active[idx+1:]...)
+				cancels[id]()
+			case opSetScale:
+				r.setScale(o.weight)
+			}
+		})
+	}
+	eng.Run() // drains once every finite flow has completed or been cancelled
+	res.bytesMoved = r.bytesMoved()
+	res.busy = r.busyTime()
+	res.stillActive = r.activeFlows()
+	return res
+}
+
+func TestDifferentialResourceVsNaive(t *testing.T) {
+	const (
+		seeds   = 60
+		nOps    = 80
+		horizon = 90 * time.Second
+	)
+	totalCompletions := 0
+	for seed := int64(0); seed < seeds; seed++ {
+		ops := genScript(rand.New(rand.NewSource(seed)), nOps, horizon)
+
+		engOpt := NewEngine(seed)
+		opt := runScript(engOpt, optimizedUT{NewResource(engOpt, "opt", 128*float64(MB), SeekEfficiency(0.25))}, ops)
+
+		engNaive := NewEngine(seed)
+		naive := runScript(engNaive, naiveUT{newNaiveResource(engNaive, 128*float64(MB), SeekEfficiency(0.25))}, ops)
+
+		if len(opt.completions) != len(naive.completions) {
+			t.Fatalf("seed %d: %d completions vs naive %d", seed, len(opt.completions), len(naive.completions))
+		}
+		for i := range opt.completions {
+			o, n := opt.completions[i], naive.completions[i]
+			if o.id != n.id {
+				t.Fatalf("seed %d: completion %d order diverged: flow %d vs naive flow %d", seed, i, o.id, n.id)
+			}
+			if o.at != n.at {
+				t.Fatalf("seed %d: flow %d completed at %v vs naive %v (Δ %v)", seed, o.id, o.at, n.at, o.at.Sub(n.at))
+			}
+		}
+		if opt.bytesMoved != naive.bytesMoved {
+			t.Fatalf("seed %d: BytesMoved %d vs naive %d", seed, opt.bytesMoved, naive.bytesMoved)
+		}
+		if opt.busy != naive.busy {
+			t.Fatalf("seed %d: BusyTime %v vs naive %v", seed, opt.busy, naive.busy)
+		}
+		if opt.stillActive != naive.stillActive {
+			t.Fatalf("seed %d: %d active flows at drain vs naive %d", seed, opt.stillActive, naive.stillActive)
+		}
+		totalCompletions += len(opt.completions)
+	}
+	if totalCompletions == 0 {
+		t.Fatal("scripts produced no completions; test exercised nothing")
+	}
+	t.Logf("compared %d completions across %d seeds", totalCompletions, seeds)
+}

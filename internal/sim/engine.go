@@ -8,7 +8,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 	"time"
@@ -36,54 +35,121 @@ func (t Time) String() string { return Duration(t).String() }
 
 // Event is a scheduled callback. It is returned by the scheduling methods
 // so callers can cancel it before it fires.
+//
+// Handles are pooled: once an event has fired, the engine recycles the
+// Event struct for a later Schedule/At call. A handle is therefore valid
+// only until its event fires — cancel before the fire, or drop the
+// handle when the callback runs (overwrite it, as Ticker does). Cancel
+// is always safe on nil handles, on handles cancelled before firing, and
+// from within the event's own callback.
 type Event struct {
 	at        Time
 	seq       uint64
 	fn        func()
-	index     int // heap index; -1 when not queued
+	queued    bool // in the heap (live or tombstoned)
 	cancelled bool
 }
 
 // At reports the instant the event is scheduled to fire.
 func (e *Event) At() Time { return e.at }
 
-// eventHeap orders events by time, breaking ties by scheduling order so the
-// simulation is deterministic.
-type eventHeap []*Event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// eventLess orders events by time, breaking ties by scheduling order so
+// the simulation is deterministic.
+func eventLess(a, b *Event) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return h[i].seq < h[j].seq
+	return a.seq < b.seq
 }
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
+
+// eventQueue is a binary min-heap specialized to *Event. Hand-rolling it
+// (instead of container/heap) removes interface dispatch and any-boxing
+// from the hottest loop in the simulator, and lazy cancellation means no
+// remove-by-index is ever needed, so sifting uses cheap hole moves with a
+// single final write instead of index-maintaining swaps.
+type eventQueue []*Event
+
+func (q *eventQueue) push(ev *Event) {
+	ev.queued = true
+	*q = append(*q, ev)
+	q.siftUp(len(*q) - 1)
 }
-func (h *eventHeap) Push(x any) {
-	e := x.(*Event)
-	e.index = len(*h)
-	*h = append(*h, e)
+
+// popMin removes and returns the earliest event. The queue must be
+// non-empty.
+func (q *eventQueue) popMin() *Event {
+	evs := *q
+	root := evs[0]
+	n := len(evs) - 1
+	last := evs[n]
+	evs[n] = nil
+	*q = evs[:n]
+	if n > 0 {
+		evs[0] = last
+		q.siftDown(0)
+	}
+	root.queued = false
+	return root
 }
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.index = -1
-	*h = old[:n-1]
-	return e
+
+func (q eventQueue) siftUp(i int) {
+	ev := q[i]
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !eventLess(ev, q[parent]) {
+			break
+		}
+		q[i] = q[parent]
+		i = parent
+	}
+	q[i] = ev
 }
+
+func (q eventQueue) siftDown(i int) {
+	n := len(q)
+	ev := q[i]
+	for {
+		child := 2*i + 1
+		if child >= n {
+			break
+		}
+		if r := child + 1; r < n && eventLess(q[r], q[child]) {
+			child = r
+		}
+		if !eventLess(q[child], ev) {
+			break
+		}
+		q[i] = q[child]
+		i = child
+	}
+	q[i] = ev
+}
+
+// reinit restores the heap invariant after bulk filtering (Floyd's
+// heap-construction, O(n)).
+func (q eventQueue) reinit() {
+	for i := len(q)/2 - 1; i >= 0; i-- {
+		q.siftDown(i)
+	}
+}
+
+// compactMin is the queue length below which tombstone compaction is not
+// worth an O(n) heap rebuild; dead events that small are cheaper to skim
+// off the top as the clock reaches them.
+const compactMin = 64
 
 // Engine is a single-threaded discrete-event simulator. It is not safe for
 // concurrent use; all model code runs inside event callbacks.
 type Engine struct {
-	now     Time
-	seq     uint64
-	events  eventHeap
+	now    Time
+	seq    uint64
+	events eventQueue
+	// dead counts tombstoned (lazily cancelled) events still in the
+	// queue. Cancellation only flags the event; the heap entry is
+	// reclaimed when it surfaces, or in bulk by compact() once dead
+	// entries outnumber live ones.
+	dead    int
+	free    []*Event // recycled Event structs; steady state allocates none
 	rng     *rand.Rand
 	stopped bool
 	fired   uint64
@@ -107,8 +173,8 @@ func (e *Engine) Rand() *rand.Rand { return e.rng }
 // performance reporting.
 func (e *Engine) EventsFired() uint64 { return e.fired }
 
-// Pending reports how many events are queued.
-func (e *Engine) Pending() int { return len(e.events) }
+// Pending reports how many live (non-cancelled) events are queued.
+func (e *Engine) Pending() int { return len(e.events) - e.dead }
 
 // Schedule runs fn after delay d of virtual time. A negative delay is
 // treated as zero. The returned Event may be cancelled.
@@ -125,23 +191,78 @@ func (e *Engine) At(t Time, fn func()) *Event {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
 	}
-	ev := &Event{at: t, seq: e.seq, fn: fn, index: -1}
+	var ev *Event
+	if n := len(e.free); n > 0 {
+		ev = e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+	} else {
+		ev = &Event{}
+	}
+	ev.at, ev.seq, ev.fn, ev.cancelled = t, e.seq, fn, false
 	e.seq++
-	heap.Push(&e.events, ev)
+	e.events.push(ev)
 	return ev
 }
 
 // Cancel removes ev from the queue if it has not fired. Cancelling a nil,
 // fired, or already-cancelled event is a no-op.
+//
+// Cancellation is lazy: the event is tombstoned in place (O(1)) and its
+// callback reference dropped immediately, and the heap entry is reclaimed
+// when it surfaces — or in bulk once tombstones outnumber live events.
 func (e *Engine) Cancel(ev *Event) {
-	if ev == nil || ev.cancelled || ev.index < 0 {
-		if ev != nil {
-			ev.cancelled = true
-		}
+	if ev == nil || ev.cancelled {
 		return
 	}
 	ev.cancelled = true
-	heap.Remove(&e.events, ev.index)
+	// Drop the closure now so a tombstone never pins model objects
+	// (e.g. a stopped Ticker's callback) while it waits in the queue.
+	ev.fn = nil
+	if !ev.queued {
+		return // currently firing or already popped
+	}
+	e.dead++
+	if e.dead*2 > len(e.events) && len(e.events) >= compactMin {
+		e.compact()
+	}
+}
+
+// compact rebuilds the heap without its tombstoned entries. Each rebuild
+// reclaims at least half the queue, so the cost amortizes to O(1) per
+// cancellation while bounding queue memory at ~2x the live event count.
+func (e *Engine) compact() {
+	live := e.events[:0]
+	for _, ev := range e.events {
+		if ev.cancelled {
+			ev.queued = false
+			e.release(ev)
+			continue
+		}
+		live = append(live, ev)
+	}
+	for i := len(live); i < len(e.events); i++ {
+		e.events[i] = nil
+	}
+	e.events = live
+	e.dead = 0
+	e.events.reinit()
+}
+
+// release returns a popped or compacted-away event to the free pool.
+func (e *Engine) release(ev *Event) {
+	ev.fn = nil
+	e.free = append(e.free, ev)
+}
+
+// skimDead pops tombstoned events off the head of the queue without
+// advancing the clock or firing anything.
+func (e *Engine) skimDead() {
+	for len(e.events) > 0 && e.events[0].cancelled {
+		ev := e.events.popMin()
+		e.dead--
+		e.release(ev)
+	}
 }
 
 // Stop makes Run return after the current event completes.
@@ -150,7 +271,11 @@ func (e *Engine) Stop() { e.stopped = true }
 // Run executes events until the queue drains or Stop is called.
 func (e *Engine) Run() {
 	e.stopped = false
-	for len(e.events) > 0 && !e.stopped {
+	for !e.stopped {
+		e.skimDead()
+		if len(e.events) == 0 {
+			return
+		}
 		e.step()
 	}
 }
@@ -159,7 +284,11 @@ func (e *Engine) Run() {
 // to exactly t.
 func (e *Engine) RunUntil(t Time) {
 	e.stopped = false
-	for len(e.events) > 0 && !e.stopped && e.events[0].at <= t {
+	for !e.stopped {
+		e.skimDead()
+		if len(e.events) == 0 || e.events[0].at > t {
+			break
+		}
 		e.step()
 	}
 	if !e.stopped && e.now < t {
@@ -170,13 +299,19 @@ func (e *Engine) RunUntil(t Time) {
 // RunFor executes events for a span d of virtual time from now.
 func (e *Engine) RunFor(d Duration) { e.RunUntil(e.now.Add(d)) }
 
+// step fires the head event. Callers skim tombstones first, so the head
+// is normally live; the guard covers it anyway for safety.
 func (e *Engine) step() {
-	ev := heap.Pop(&e.events).(*Event)
-	e.now = ev.at
-	if !ev.cancelled {
-		e.fired++
-		ev.fn()
+	ev := e.events.popMin()
+	if ev.cancelled {
+		e.dead--
+		e.release(ev)
+		return
 	}
+	e.now = ev.at
+	e.fired++
+	ev.fn()
+	e.release(ev)
 }
 
 // Ticker invokes fn every interval until cancelled. It is the building
@@ -185,6 +320,7 @@ type Ticker struct {
 	eng      *Engine
 	interval Duration
 	fn       func()
+	tick     func() // rearming wrapper, allocated once
 	ev       *Event
 	stopped  bool
 }
@@ -195,28 +331,30 @@ func NewTicker(eng *Engine, interval Duration, fn func()) *Ticker {
 		panic("sim: ticker interval must be positive")
 	}
 	t := &Ticker{eng: eng, interval: interval, fn: fn}
-	t.arm()
-	return t
-}
-
-func (t *Ticker) arm() {
-	t.ev = t.eng.Schedule(t.interval, func() {
+	t.tick = func() {
+		t.ev = nil
 		if t.stopped {
 			return
 		}
 		t.fn()
 		if !t.stopped {
-			t.arm()
+			t.ev = t.eng.Schedule(t.interval, t.tick)
 		}
-	})
+	}
+	t.ev = eng.Schedule(interval, t.tick)
+	return t
 }
 
 // Stop halts the ticker. It is safe to call multiple times and from within
-// the tick callback.
+// the tick callback. Stopping drops both the queued event's callback and
+// the ticker's own references, so a stopped ticker pins neither its
+// callback nor (beyond a tombstone the engine reclaims) any queue memory.
 func (t *Ticker) Stop() {
 	if t.stopped {
 		return
 	}
 	t.stopped = true
 	t.eng.Cancel(t.ev)
+	t.ev = nil
+	t.fn = nil
 }

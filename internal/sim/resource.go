@@ -65,7 +65,6 @@ type Flow struct {
 	rate      float64 // current bytes/sec, maintained by the resource
 	started   Time
 	done      func(f *Flow)
-	ev        *Event // completion event, nil for persistent flows
 	active    bool
 	total     float64 // original size, NaN for persistent
 }
@@ -90,6 +89,12 @@ func (f *Flow) Active() bool { return f.active }
 // This fluid-flow model is what makes residual-bandwidth effects emerge
 // naturally: interference flows, task reads and migrations all compete on
 // the same Resource and each automatically slows the others down.
+//
+// The resource keeps exactly one engine timer, armed for the earliest
+// completion among its flows; admissions, cancellations and capacity
+// changes re-arm that single timer instead of rescheduling one event per
+// flow, so a state change on a busy device costs one O(log n) queue
+// operation rather than one per active flow.
 type Resource struct {
 	eng   *Engine
 	name  string
@@ -99,8 +104,14 @@ type Resource struct {
 	// flows keeps admission order: iteration order drives float
 	// summation and completion-event scheduling, and a map here would
 	// make identical seeds give different results run to run.
-	flows      []*Flow
+	flows []*Flow
+	// totalW is the summed weight of the active flows, maintained
+	// incrementally (and reset to zero whenever the resource idles, so
+	// float drift cannot accumulate across busy periods).
+	totalW     float64
 	lastUpdate Time
+	timer      *Event // single completion timer; nil when nothing finite runs
+	timerFn    func() // bound once so re-arming allocates nothing
 
 	// accounting
 	bytesMoved float64 // total bytes completed through this resource
@@ -116,13 +127,15 @@ func NewResource(eng *Engine, name string, capacity float64, eff EfficiencyFunc)
 	if eff == nil {
 		eff = FlatEfficiency
 	}
-	return &Resource{
+	r := &Resource{
 		eng:   eng,
 		name:  name,
 		base:  capacity,
 		scale: 1,
 		eff:   eff,
 	}
+	r.timerFn = r.onTimer
+	return r
 }
 
 // Name reports the resource's identifier, e.g. "disk:node3".
@@ -137,13 +150,7 @@ func (r *Resource) EffectiveCapacity() float64 {
 	return r.base * r.scale * r.eff(r.totalWeight())
 }
 
-func (r *Resource) totalWeight() float64 {
-	var w float64
-	for _, f := range r.flows {
-		w += f.weight
-	}
-	return w
-}
+func (r *Resource) totalWeight() float64 { return r.totalW }
 
 // ActiveFlows reports the number of in-progress flows.
 func (r *Resource) ActiveFlows() int { return len(r.flows) }
@@ -217,6 +224,7 @@ func (r *Resource) StartWeighted(size Bytes, weight float64, done func(f *Flow))
 		active:    true,
 	}
 	r.flows = append(r.flows, f)
+	r.totalW += weight
 	r.rebalance()
 	return f
 }
@@ -238,6 +246,7 @@ func (r *Resource) StartLoad(weight float64) *Flow {
 		active:    true,
 	}
 	r.flows = append(r.flows, f)
+	r.totalW += weight
 	r.rebalance()
 	return f
 }
@@ -251,11 +260,8 @@ func (f *Flow) Cancel() {
 	r := f.res
 	r.advance()
 	f.active = false
-	if f.ev != nil {
-		r.eng.Cancel(f.ev)
-		f.ev = nil
-	}
 	r.remove(f)
+	r.totalW -= f.weight
 	r.rebalance()
 }
 
@@ -299,44 +305,91 @@ func (r *Resource) advance() {
 	r.lastUpdate = now
 }
 
-// rebalance recomputes every flow's rate and (re)schedules completion
-// events. Must be called with accounting already advanced to now.
+// rebalance recomputes every flow's rate and re-arms the completion timer
+// for the earliest-finishing flow. Must be called with accounting already
+// advanced to now.
 func (r *Resource) rebalance() {
+	if r.timer != nil {
+		r.eng.Cancel(r.timer)
+		r.timer = nil
+	}
 	if len(r.flows) == 0 {
+		r.totalW = 0
 		return
 	}
-	totalWeight := r.totalWeight()
-	totalRate := r.base * r.scale * r.eff(totalWeight)
+	totalRate := r.base * r.scale * r.eff(r.totalW)
+	minSecs := math.Inf(1)
 	for _, f := range r.flows {
-		f.rate = totalRate * f.weight / totalWeight
-		if f.ev != nil {
-			r.eng.Cancel(f.ev)
-			f.ev = nil
-		}
+		f.rate = totalRate * f.weight / r.totalW
 		if math.IsInf(f.remaining, 1) {
 			continue
 		}
-		secs := f.remaining / f.rate
-		ff := f
-		f.ev = r.eng.Schedule(Duration(secs*float64(Second)), func() { r.complete(ff) })
+		if secs := f.remaining / f.rate; secs < minSecs {
+			minSecs = secs
+		}
+	}
+	if !math.IsInf(minSecs, 1) {
+		r.timer = r.eng.Schedule(Duration(minSecs*float64(Second)), r.timerFn)
+	}
+}
+
+// recomputeRates refreshes flow rates after a removal without touching the
+// timer; completeRipe re-arms it once the completion cascade settles.
+func (r *Resource) recomputeRates() {
+	if len(r.flows) == 0 {
+		return
+	}
+	totalRate := r.base * r.scale * r.eff(r.totalW)
+	for _, f := range r.flows {
+		f.rate = totalRate * f.weight / r.totalW
 	}
 }
 
 // Second is one virtual second, for converting float seconds to Duration.
 const Second = Duration(1e9)
 
-func (r *Resource) complete(f *Flow) {
+// onTimer fires when the earliest-finishing flow reaches zero remaining
+// bytes: it advances accounting and completes every ripe flow.
+func (r *Resource) onTimer() {
+	r.timer = nil
 	r.advance()
-	// Guard against float drift: the event fires when remaining ~ 0.
-	if f.remaining > 0 {
-		r.bytesMoved += f.remaining
-		f.remaining = 0
+	r.completeRipe()
+}
+
+// completeRipe completes, in admission order, every flow whose remaining
+// bytes finish within the current nanosecond at its current rate — which
+// is exactly the set of flows whose per-flow completion events would fire
+// at this same instant under eager per-flow scheduling, so completion
+// order and timestamps match that design bit for bit. Rates are
+// recomputed after each removal (freeing capacity can ripen the next
+// flow), and the single timer is re-armed once the cascade settles.
+func (r *Resource) completeRipe() {
+	for {
+		var ripe *Flow
+		for _, f := range r.flows {
+			if !math.IsInf(f.remaining, 1) && Duration(f.remaining/f.rate*float64(Second)) == 0 {
+				ripe = f
+				break
+			}
+		}
+		if ripe == nil {
+			break
+		}
+		// Guard against float drift: the timer fires when remaining ~ 0.
+		if ripe.remaining > 0 {
+			r.bytesMoved += ripe.remaining
+			ripe.remaining = 0
+		}
+		ripe.active = false
+		r.remove(ripe)
+		r.totalW -= ripe.weight
+		if len(r.flows) == 0 {
+			r.totalW = 0
+		}
+		r.recomputeRates()
+		if ripe.done != nil {
+			ripe.done(ripe)
+		}
 	}
-	f.active = false
-	f.ev = nil
-	r.remove(f)
 	r.rebalance()
-	if f.done != nil {
-		f.done(f)
-	}
 }
