@@ -20,6 +20,7 @@ import (
 	"dyrs/internal/experiments"
 	"dyrs/internal/migration"
 	"dyrs/internal/sim"
+	"dyrs/internal/trace"
 	"dyrs/internal/workload"
 )
 
@@ -364,13 +365,18 @@ func BenchmarkAblationBindingPolicy(b *testing.B) {
 
 // --- Microbenchmarks of the substrate ---
 
-// BenchmarkSimEngineEvents measures the event-queue hot path: each
-// iteration schedules a batch of 64 timers, cancels half of them (the
-// Resource rebalance pattern), and drains the queue — so the drain is
-// inside the measured region and ns/op covers the full schedule → cancel
-// → fire lifecycle.
-func BenchmarkSimEngineEvents(b *testing.B) {
+// benchEngineEvents measures the event-queue hot path: each iteration
+// schedules a batch of 64 timers, cancels half of them (the Resource
+// rebalance pattern), and drains the queue — so the drain is inside the
+// measured region and ns/op covers the full schedule → cancel → fire
+// lifecycle. With traced set, a trace.Tracer is attached, pinning the
+// cost of the observability layer on this path (it must be nil-check
+// noise: the engine never consults the tracer while firing events).
+func benchEngineEvents(b *testing.B, traced bool) {
 	eng := sim.NewEngine(1)
+	if traced {
+		trace.New(eng)
+	}
 	nop := func() {}
 	b.ReportAllocs()
 	b.ResetTimer()
@@ -386,11 +392,20 @@ func BenchmarkSimEngineEvents(b *testing.B) {
 	}
 }
 
-// BenchmarkResourceFlows measures the fluid-flow hot path: each iteration
+func BenchmarkSimEngineEvents(b *testing.B)       { benchEngineEvents(b, false) }
+func BenchmarkSimEngineEventsTraced(b *testing.B) { benchEngineEvents(b, true) }
+
+// benchResourceFlows measures the fluid-flow hot path: each iteration
 // admits 32 concurrent flows on one disk (every admission rebalances all
 // active flows) and runs them to completion inside the measured region.
-func BenchmarkResourceFlows(b *testing.B) {
+// The traced variant exercises the FlowSink callbacks on every start and
+// completion, whose per-resource counter cells keep the overhead to a
+// few increments and no allocations.
+func benchResourceFlows(b *testing.B, traced bool) {
 	eng := sim.NewEngine(1)
+	if traced {
+		trace.New(eng)
+	}
 	r := sim.NewResource(eng, "disk", 130*float64(sim.MB), sim.SeekEfficiency(0.05))
 	b.ReportAllocs()
 	b.ResetTimer()
@@ -401,6 +416,9 @@ func BenchmarkResourceFlows(b *testing.B) {
 		eng.Run()
 	}
 }
+
+func BenchmarkResourceFlows(b *testing.B)       { benchResourceFlows(b, false) }
+func BenchmarkResourceFlowsTraced(b *testing.B) { benchResourceFlows(b, true) }
 
 // TestScheduleHotPathAllocs pins the engine's steady-state allocation
 // behaviour: once the event pool and heap are warm, scheduling, cancelling

@@ -7,11 +7,13 @@
 //	dyrs-sim -policy DYRS -size 10 -lead 20s -interfere 0
 //	dyrs-sim -policy Ignem -workload hive -query q15
 //	dyrs-sim -policy HDFS -size 20 -alternate 10s -interfere 1
+//	dyrs-sim -policy DYRS -size 10 -trace out.json -trace-format perfetto
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"math/rand"
 	"os"
 	"time"
@@ -25,57 +27,127 @@ import (
 )
 
 func main() {
-	policyFlag := flag.String("policy", "DYRS", "HDFS | HDFS-Inputs-in-RAM | Ignem | DYRS | Naive")
-	wl := flag.String("workload", "sort", "sort | hive | swim")
-	sizeGB := flag.Float64("size", 10, "sort input size in GB")
-	query := flag.String("query", "q52", "hive query name (see dyrs.TPCDSQueries)")
-	swimJobs := flag.Int("swim-jobs", 50, "number of trace jobs for the swim workload")
-	lead := flag.Duration("lead", 10*time.Second, "artificially inserted lead-time")
-	interfere := flag.Int("interfere", -1, "node index to run dd-style interference on (-1: none)")
-	alternate := flag.Duration("alternate", 0, "alternate interference on/off with this period (0: persistent)")
-	workers := flag.Int("workers", 7, "number of worker nodes")
-	seed := flag.Int64("seed", 1, "simulation seed")
-	showTelemetry := flag.Bool("telemetry", false, "render per-node disk utilization after the run")
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "dyrs-sim:", err)
+		os.Exit(1)
+	}
+}
+
+// run executes one scenario end to end. It is main minus the exit code,
+// so tests can drive the binary in-process.
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("dyrs-sim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	policyFlag := fs.String("policy", "DYRS", "HDFS | HDFS-Inputs-in-RAM | Ignem | DYRS | Naive")
+	wl := fs.String("workload", "sort", "sort | hive | swim")
+	sizeGB := fs.Float64("size", 10, "sort input size in GB")
+	query := fs.String("query", "q52", "hive query name (see dyrs.TPCDSQueries)")
+	swimJobs := fs.Int("swim-jobs", 50, "number of trace jobs for the swim workload")
+	lead := fs.Duration("lead", 10*time.Second, "artificially inserted lead-time")
+	interfere := fs.Int("interfere", -1, "node index to run dd-style interference on (-1: none)")
+	alternate := fs.Duration("alternate", 0, "alternate interference on/off with this period (0: persistent)")
+	workers := fs.Int("workers", 7, "number of worker nodes")
+	seed := fs.Int64("seed", 1, "simulation seed")
+	showTelemetry := fs.Bool("telemetry", false, "render per-node disk utilization after the run")
+	telemetryCSV := fs.String("telemetry-csv", "", "write raw telemetry samples (disk/NIC/memory series) to this CSV file")
+	tracePath := fs.String("trace", "", "record a trace of the run and write it to this file")
+	traceFormat := fs.String("trace-format", "json", "trace file format: json (canonical dyrs-trace/v1) | perfetto (Chrome trace-event JSON)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	policy := dyrs.Policy(*policyFlag)
 	switch policy {
 	case dyrs.PolicyHDFS, dyrs.PolicyRAM, dyrs.PolicyIgnem, dyrs.PolicyDYRS, dyrs.PolicyNaive:
 	default:
-		fmt.Fprintf(os.Stderr, "dyrs-sim: unknown policy %q\n", *policyFlag)
-		os.Exit(2)
+		return fmt.Errorf("unknown policy %q", *policyFlag)
+	}
+	switch *traceFormat {
+	case "json", "perfetto":
+	default:
+		return fmt.Errorf("unknown trace format %q (want json or perfetto)", *traceFormat)
 	}
 
 	if *wl == "hive" {
-		runHive(policy, *query, *seed)
-		return
+		if *tracePath != "" || *telemetryCSV != "" {
+			return fmt.Errorf("-trace and -telemetry-csv are not supported with the hive workload")
+		}
+		return runHive(stdout, policy, *query, *seed)
 	}
 
 	opt := dyrs.DefaultOptions(*seed)
 	opt.Workers = *workers
+	opt.Trace = *tracePath != ""
 	env := dyrs.NewEnv(policy, opt)
 	defer env.Close()
 
 	var col *telemetry.Collector
-	if *showTelemetry {
+	if *showTelemetry || *telemetryCSV != "" {
 		col = telemetry.Start(env.Cl, env.FS, time.Second)
-		defer func() {
-			col.Stop()
-			fmt.Println("\nper-node disk utilization (one column per second, 0-9 scale):")
-			col.RenderDisk(os.Stdout, 100)
-		}()
 	}
 
+	// The workload proper.
+	var runErr error
 	if *wl == "swim" {
-		runSWIM(env, *swimJobs, *seed)
-		return
+		runErr = runSWIM(stdout, env, *swimJobs, *seed)
+	} else {
+		runErr = runSort(stdout, env, policy, *sizeGB, *lead, *interfere, *alternate, *workers)
+	}
+	if runErr != nil {
+		return runErr
 	}
 
+	if col != nil {
+		col.Stop()
+		if *showTelemetry {
+			fmt.Fprintln(stdout, "\nper-node disk utilization (one column per second, 0-9 scale):")
+			if err := col.RenderDisk(stdout, 100); err != nil {
+				return err
+			}
+		}
+		if *telemetryCSV != "" {
+			if err := writeFile(*telemetryCSV, col.WriteCSV); err != nil {
+				return fmt.Errorf("writing telemetry CSV: %w", err)
+			}
+		}
+	}
+
+	if tr := env.Tracer(); tr.Enabled() {
+		write := tr.WriteJSON
+		if *traceFormat == "perfetto" {
+			write = tr.WriteChromeTrace
+		}
+		if err := writeFile(*tracePath, write); err != nil {
+			return fmt.Errorf("writing trace: %w", err)
+		}
+		fmt.Fprintf(stdout, "\ntrace       : %s (%s)\n", *tracePath, *traceFormat)
+		fmt.Fprintf(stdout, "trace summary:\n%s\n", tr.Summarize())
+	}
+	return nil
+}
+
+// writeFile creates path and streams write into it, reporting close
+// errors (a trace truncated by a full disk should not look successful).
+func writeFile(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// runSort runs the single-job Sort scenario with optional interference.
+func runSort(stdout io.Writer, env *dyrs.Env, policy dyrs.Policy,
+	sizeGB float64, lead time.Duration, interfere int, alternate time.Duration, workers int) error {
 	var stop func()
-	if *interfere >= 0 && *interfere < *workers {
-		node := env.Cl.Node(cluster.NodeID(*interfere))
-		if *alternate > 0 {
-			p := cluster.StartAlternating(env.Eng, node, 2, 2.5, *alternate, true)
+	if interfere >= 0 && interfere < workers {
+		node := env.Cl.Node(cluster.NodeID(interfere))
+		if alternate > 0 {
+			p := cluster.StartAlternating(env.Eng, node, 2, 2.5, alternate, true)
 			stop = p.Stop
 		} else {
 			inf := node.StartInterference(2, 2.5)
@@ -85,58 +157,59 @@ func main() {
 	}
 
 	if err := env.WarmupEstimates(); err != nil {
-		fatal(err)
+		return err
 	}
-	size := sim.Bytes(*sizeGB * float64(dyrs.GB))
+	size := sim.Bytes(sizeGB * float64(dyrs.GB))
 	if err := env.CreateInput("input", size); err != nil {
-		fatal(err)
+		return err
 	}
-	spec := env.Prepare(dyrs.SortSpec("input", 2**workers, policy.Migrates()))
-	spec.ExtraLeadTime = *lead
+	spec := env.Prepare(dyrs.SortSpec("input", 2*workers, policy.Migrates()))
+	spec.ExtraLeadTime = lead
 	j, err := env.FW.Submit(spec)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	if err := env.WaitJob(j, time.Hour); err != nil {
-		fatal(err)
+		return err
 	}
 
-	fmt.Printf("policy      : %s\n", policy)
-	fmt.Printf("input       : %s in %d blocks\n", sim.FormatBytes(size), len(j.Tasks))
-	fmt.Printf("lead-time   : %v (inserted %v)\n", j.LeadTime(), *lead)
-	fmt.Printf("map phase   : %v\n", j.MapPhase())
-	fmt.Printf("end-to-end  : %v\n", j.Duration())
+	fmt.Fprintf(stdout, "policy      : %s\n", policy)
+	fmt.Fprintf(stdout, "input       : %s in %d blocks\n", sim.FormatBytes(size), len(j.Tasks))
+	fmt.Fprintf(stdout, "lead-time   : %v (inserted %v)\n", j.LeadTime(), lead)
+	fmt.Fprintf(stdout, "map phase   : %v\n", j.MapPhase())
+	fmt.Fprintf(stdout, "end-to-end  : %v\n", j.Duration())
 	srcs := map[string]int{}
 	for _, tr := range j.Tasks {
 		srcs[tr.Source.String()]++
 	}
-	fmt.Printf("read sources: %v\n", srcs)
+	fmt.Fprintf(stdout, "read sources: %v\n", srcs)
 	if env.Coord != nil {
 		st := env.Coord.Stats()
-		fmt.Printf("migration   : requested=%d migrated=%d dropped=%d evicted=%d hits=%d missed=%d bytes=%s\n",
+		fmt.Fprintf(stdout, "migration   : requested=%d migrated=%d dropped=%d evicted=%d hits=%d missed=%d bytes=%s\n",
 			st.Requested, st.Migrated, st.Dropped, st.Evicted,
 			st.MemoryHits, st.MissedReads, sim.FormatBytes(st.BytesMigrated))
 	}
+	return nil
 }
 
 // runSWIM replays a prefix of the SWIM trace workload in the prepared
 // environment and prints aggregate job statistics.
-func runSWIM(env *dyrs.Env, jobs int, seed int64) {
+func runSWIM(stdout io.Writer, env *dyrs.Env, jobs int, seed int64) error {
 	cfg := workload.DefaultSWIMConfig()
 	cfg.Jobs = jobs
 	cfg.TotalInput = sim.Bytes(float64(cfg.TotalInput) * float64(jobs) / 200)
-	trace := workload.GenerateSWIM(rand.New(rand.NewSource(seed)), cfg)
-	for _, j := range trace {
+	swimJobs := workload.GenerateSWIM(rand.New(rand.NewSource(seed)), cfg)
+	for _, j := range swimJobs {
 		if err := env.CreateInput(j.FileName(), j.InputSize); err != nil {
-			fatal(err)
+			return err
 		}
 	}
-	for _, j := range trace {
+	for _, j := range swimJobs {
 		spec := env.Prepare(j.Spec(env.Policy.Migrates()))
 		env.FW.SubmitAt(sim.Time(j.Arrival), spec, nil)
 	}
-	if err := env.WaitJobs(len(trace), 4*time.Hour); err != nil {
-		fatal(err)
+	if err := env.WaitJobs(len(swimJobs), 4*time.Hour); err != nil {
+		return err
 	}
 	var total, mapTotal float64
 	var tasks int
@@ -146,34 +219,29 @@ func runSWIM(env *dyrs.Env, jobs int, seed int64) {
 		tasks += len(j.Tasks)
 	}
 	n := float64(len(env.FW.Results()))
-	fmt.Printf("policy      : %s\n", env.Policy)
-	fmt.Printf("jobs        : %d (%d map tasks)\n", len(env.FW.Results()), tasks)
-	fmt.Printf("avg job     : %.1fs (map phase %.1fs)\n", total/n, mapTotal/n)
+	fmt.Fprintf(stdout, "policy      : %s\n", env.Policy)
+	fmt.Fprintf(stdout, "jobs        : %d (%d map tasks)\n", len(env.FW.Results()), tasks)
+	fmt.Fprintf(stdout, "avg job     : %.1fs (map phase %.1fs)\n", total/n, mapTotal/n)
 	if env.Coord != nil {
 		st := env.Coord.Stats()
-		fmt.Printf("migration   : migrated=%d dropped=%d hits=%d missed=%d bytes=%s\n",
+		fmt.Fprintf(stdout, "migration   : migrated=%d dropped=%d hits=%d missed=%d bytes=%s\n",
 			st.Migrated, st.Dropped, st.MemoryHits, st.MissedReads, sim.FormatBytes(st.BytesMigrated))
 	}
+	return nil
 }
 
-func runHive(policy dyrs.Policy, name string, seed int64) {
+func runHive(stdout io.Writer, policy dyrs.Policy, name string, seed int64) error {
 	for _, q := range dyrs.TPCDSQueries() {
 		if q.Name != name {
 			continue
 		}
 		d, err := experiments.RunHiveQuery(q, policy, seed)
 		if err != nil {
-			fatal(err)
+			return err
 		}
-		fmt.Printf("query %s (%s) under %s: %.1fs\n",
+		fmt.Fprintf(stdout, "query %s (%s) under %s: %.1fs\n",
 			q.Name, sim.FormatBytes(q.InputSize), policy, d)
-		return
+		return nil
 	}
-	fmt.Fprintf(os.Stderr, "dyrs-sim: unknown query %q\n", name)
-	os.Exit(2)
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "dyrs-sim:", err)
-	os.Exit(1)
+	return fmt.Errorf("unknown query %q", name)
 }

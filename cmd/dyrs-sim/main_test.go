@@ -1,0 +1,191 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// sortArgs returns a fast single-job scenario (2 blocks, short lead).
+func sortArgs(extra ...string) []string {
+	args := []string{"-policy", "DYRS", "-size", "0.5", "-lead", "2s", "-seed", "1"}
+	return append(args, extra...)
+}
+
+func runOK(t *testing.T, args []string) string {
+	t.Helper()
+	var out, errOut bytes.Buffer
+	if err := run(args, &out, &errOut); err != nil {
+		t.Fatalf("run(%v) failed: %v\nstderr: %s", args, err, errOut.String())
+	}
+	return out.String()
+}
+
+func TestRunSortSmoke(t *testing.T) {
+	out := runOK(t, sortArgs())
+	for _, want := range []string{"policy      : DYRS", "end-to-end", "migration   :"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunRejectsUnknownPolicy(t *testing.T) {
+	var out, errOut bytes.Buffer
+	err := run([]string{"-policy", "bogus"}, &out, &errOut)
+	if err == nil || !strings.Contains(err.Error(), "unknown policy") {
+		t.Fatalf("want unknown-policy error, got %v", err)
+	}
+}
+
+func TestRunRejectsUnknownTraceFormat(t *testing.T) {
+	var out, errOut bytes.Buffer
+	err := run(sortArgs("-trace", "x.json", "-trace-format", "protobuf"), &out, &errOut)
+	if err == nil || !strings.Contains(err.Error(), "unknown trace format") {
+		t.Fatalf("want unknown-trace-format error, got %v", err)
+	}
+}
+
+func TestRunRejectsTraceWithHive(t *testing.T) {
+	var out, errOut bytes.Buffer
+	err := run([]string{"-workload", "hive", "-trace", "x.json"}, &out, &errOut)
+	if err == nil || !strings.Contains(err.Error(), "not supported") {
+		t.Fatalf("want unsupported-combination error, got %v", err)
+	}
+}
+
+// TestTraceDeterminism is the PR's headline acceptance check: the same
+// seed must produce a byte-identical trace file across runs.
+func TestTraceDeterminism(t *testing.T) {
+	dir := t.TempDir()
+	paths := []string{filepath.Join(dir, "a.json"), filepath.Join(dir, "b.json")}
+	for _, p := range paths {
+		out := runOK(t, sortArgs("-trace", p))
+		if !strings.Contains(out, "trace summary") {
+			t.Errorf("output missing trace summary:\n%s", out)
+		}
+	}
+	a, err := os.ReadFile(paths[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(paths[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) == 0 {
+		t.Fatal("trace file is empty")
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatalf("trace files differ across identical runs (%d vs %d bytes)", len(a), len(b))
+	}
+
+	var doc struct {
+		Schema   string           `json:"schema"`
+		Counters map[string]int64 `json:"counters"`
+		Spans    []struct {
+			Cat string `json:"cat"`
+		} `json:"spans"`
+	}
+	if err := json.Unmarshal(a, &doc); err != nil {
+		t.Fatalf("trace file is not valid JSON: %v", err)
+	}
+	if doc.Schema != "dyrs-trace/v1" {
+		t.Errorf("schema = %q, want dyrs-trace/v1", doc.Schema)
+	}
+	if doc.Counters["migration.completed"] == 0 {
+		t.Errorf("no completed migrations recorded: %v", doc.Counters)
+	}
+	var migs int
+	for _, s := range doc.Spans {
+		if s.Cat == "migration" {
+			migs++
+		}
+	}
+	if migs == 0 {
+		t.Error("no migration spans in trace")
+	}
+}
+
+// TestTracePerfetto round-trips the Chrome trace-event output and checks
+// it has the structure Perfetto needs: metadata, complete spans with
+// pid/tid/ts, counters.
+func TestTracePerfetto(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.json")
+	runOK(t, sortArgs("-trace", path, "-trace-format", "perfetto"))
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string            `json:"name"`
+			Ph   string            `json:"ph"`
+			TS   float64           `json:"ts"`
+			PID  int               `json:"pid"`
+			TID  int               `json:"tid"`
+			Dur  float64           `json:"dur"`
+			Args map[string]string `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("perfetto trace is not valid JSON: %v", err)
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q, want ms", doc.DisplayTimeUnit)
+	}
+	var meta, complete, counters int
+	pids := map[int]bool{}
+	for _, ev := range doc.TraceEvents {
+		switch ev.Ph {
+		case "M":
+			meta++
+		case "X":
+			complete++
+			pids[ev.PID] = true
+			if ev.TS < 0 || ev.Dur < 0 {
+				t.Errorf("span %q has negative ts/dur: %+v", ev.Name, ev)
+			}
+		case "C":
+			counters++
+		}
+	}
+	if meta == 0 || complete == 0 || counters == 0 {
+		t.Fatalf("want metadata, span and counter events; got M=%d X=%d C=%d", meta, complete, counters)
+	}
+	if len(pids) < 2 {
+		t.Errorf("spans confined to %d process(es); want master plus workers", len(pids))
+	}
+}
+
+func TestTelemetryCSV(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "telemetry.csv")
+	runOK(t, sortArgs("-telemetry-csv", path))
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(raw)), "\n")
+	if lines[0] != "series,seconds,value" {
+		t.Fatalf("CSV header = %q", lines[0])
+	}
+	if len(lines) < 10 {
+		t.Fatalf("only %d CSV lines; expected samples for every node/series", len(lines))
+	}
+	for _, prefix := range []string{"disk:", "nic:", "mem:"} {
+		found := false
+		for _, l := range lines[1:] {
+			if strings.HasPrefix(l, prefix) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("no %q series in CSV", prefix)
+		}
+	}
+}

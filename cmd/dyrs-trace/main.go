@@ -10,6 +10,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
@@ -18,26 +19,38 @@ import (
 )
 
 func main() {
-	seed := flag.Int64("seed", 1, "trace synthesis seed")
-	servers := flag.Int("servers", 40, "number of servers to synthesize")
-	hours := flag.Int("hours", 24, "trace span in hours")
-	jobs := flag.Int("jobs", 2000, "number of jobs for the lead-time analysis")
-	jsonOut := flag.String("json", "", "also write the full trace as JSON to this file")
-	utilCSV := flag.String("util-csv", "", "also write per-server utilization samples as CSV to this file")
-	jobsCSV := flag.String("jobs-csv", "", "also write the job lead/read records as CSV to this file")
-	loadJSON := flag.String("load", "", "analyze a trace loaded from this JSON file instead of synthesizing one")
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "dyrs-trace:", err)
+		os.Exit(1)
+	}
+}
+
+// run executes the analyses end to end; tests drive it in-process.
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("dyrs-trace", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	seed := fs.Int64("seed", 1, "trace synthesis seed")
+	servers := fs.Int("servers", 40, "number of servers to synthesize")
+	hours := fs.Int("hours", 24, "trace span in hours")
+	jobs := fs.Int("jobs", 2000, "number of jobs for the lead-time analysis")
+	jsonOut := fs.String("json", "", "also write the full trace as JSON to this file")
+	utilCSV := fs.String("util-csv", "", "also write per-server utilization samples as CSV to this file")
+	jobsCSV := fs.String("jobs-csv", "", "also write the job lead/read records as CSV to this file")
+	loadJSON := fs.String("load", "", "analyze a trace loaded from this JSON file instead of synthesizing one")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	var trace *gtrace.Trace
 	if *loadJSON != "" {
 		f, err := os.Open(*loadJSON)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		trace, err = gtrace.ReadJSON(f)
 		f.Close()
 		if err != nil {
-			fatal(err)
+			return err
 		}
 	} else {
 		cfg := gtrace.DefaultConfig()
@@ -49,30 +62,33 @@ func main() {
 	}
 
 	rep := experiments.TraceReport{Trace: trace}
-	fmt.Println(rep.Fig1())
-	fmt.Println(rep.Fig2())
-	fmt.Println(rep.Fig3())
+	fmt.Fprintln(stdout, rep.Fig1())
+	fmt.Fprintln(stdout, rep.Fig2())
+	fmt.Fprintln(stdout, rep.Fig3())
 
-	export := func(path string, write func(f *os.File) error) {
+	export := func(path string, write func(f *os.File) error) error {
 		if path == "" {
-			return
+			return nil
 		}
 		f, err := os.Create(path)
 		if err != nil {
-			fatal(err)
+			return err
 		}
-		defer f.Close()
 		if err := write(f); err != nil {
-			fatal(err)
+			f.Close()
+			return err
 		}
-		fmt.Println("wrote", path)
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintln(stdout, "wrote", path)
+		return nil
 	}
-	export(*jsonOut, func(f *os.File) error { return trace.WriteJSON(f) })
-	export(*utilCSV, func(f *os.File) error { return trace.WriteUtilizationCSV(f) })
-	export(*jobsCSV, func(f *os.File) error { return trace.WriteJobsCSV(f) })
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "dyrs-trace:", err)
-	os.Exit(1)
+	if err := export(*jsonOut, func(f *os.File) error { return trace.WriteJSON(f) }); err != nil {
+		return err
+	}
+	if err := export(*utilCSV, func(f *os.File) error { return trace.WriteUtilizationCSV(f) }); err != nil {
+		return err
+	}
+	return export(*jobsCSV, func(f *os.File) error { return trace.WriteJobsCSV(f) })
 }

@@ -1,0 +1,31 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunSmoke(t *testing.T) {
+	dir := t.TempDir()
+	jobsCSV := filepath.Join(dir, "jobs.csv")
+	var out, errOut bytes.Buffer
+	args := []string{"-seed", "1", "-servers", "8", "-hours", "2", "-jobs", "50", "-jobs-csv", jobsCSV}
+	if err := run(args, &out, &errOut); err != nil {
+		t.Fatalf("run(%v) failed: %v\nstderr: %s", args, err, errOut.String())
+	}
+	if out.Len() == 0 {
+		t.Fatal("no output")
+	}
+	if !strings.Contains(out.String(), "wrote "+jobsCSV) {
+		t.Errorf("missing export confirmation:\n%s", out.String())
+	}
+}
+
+func TestRunRejectsBadLoadPath(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if err := run([]string{"-load", filepath.Join(t.TempDir(), "missing.json")}, &out, &errOut); err == nil {
+		t.Fatal("want error for missing -load file")
+	}
+}

@@ -1,0 +1,140 @@
+package dyrs
+
+// Determinism lint: the simulator's reproducibility contract — same seed,
+// byte-identical output — is easy to break with one careless call. This
+// test statically forbids the usual suspects in internal/ non-test code:
+//
+//   - time.Now(): wall-clock time in simulated logic. Genuinely
+//     wall-clock sites (harness timing) carry a //lint:walltime comment
+//     on the same line.
+//   - the global math/rand source (rand.Intn etc. without an explicit
+//     *rand.Rand): unseeded, process-global randomness. rand.New /
+//     rand.NewSource with explicit seeds are fine.
+//   - any map type inside internal/sim: the simulation core orders
+//     everything by slices and explicit comparisons precisely so no map
+//     iteration can leak nondeterministic order into event or flow
+//     handling. Layers above sim may use maps but must sort before
+//     emitting ordered output (see Coordinator.Evict).
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// walltimeWaiver marks an intentionally wall-clock time.Now call.
+const walltimeWaiver = "lint:walltime"
+
+// globalRandFuncs are the math/rand top-level functions backed by the
+// shared global source.
+var globalRandFuncs = map[string]bool{
+	"Seed": true, "Int": true, "Intn": true, "Int31": true, "Int31n": true,
+	"Int63": true, "Int63n": true, "Uint32": true, "Uint64": true,
+	"Float32": true, "Float64": true, "ExpFloat64": true, "NormFloat64": true,
+	"Perm": true, "Shuffle": true, "Read": true,
+}
+
+func TestDeterminismLint(t *testing.T) {
+	var violations []string
+	fset := token.NewFileSet()
+
+	err := filepath.WalkDir("internal", func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() || !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		file, err := parser.ParseFile(fset, path, src, parser.ParseComments)
+		if err != nil {
+			return err
+		}
+		violations = append(violations, lintFile(fset, path, file)...)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range violations {
+		t.Error(v)
+	}
+}
+
+func lintFile(fset *token.FileSet, path string, file *ast.File) []string {
+	var out []string
+	report := func(pos token.Pos, format string, args ...any) {
+		p := fset.Position(pos)
+		out = append(out, fmt.Sprintf("%s:%d: %s", path, p.Line, fmt.Sprintf(format, args...)))
+	}
+
+	// Lines carrying a walltime waiver comment.
+	waived := map[int]bool{}
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			if strings.Contains(c.Text, walltimeWaiver) {
+				waived[fset.Position(c.Pos()).Line] = true
+			}
+		}
+	}
+
+	// Local names of the time and math/rand imports in this file.
+	timeName, randName := "", ""
+	for _, imp := range file.Imports {
+		p, _ := strconv.Unquote(imp.Path.Value)
+		name := ""
+		if imp.Name != nil {
+			name = imp.Name.Name
+		}
+		switch p {
+		case "time":
+			if timeName = "time"; name != "" {
+				timeName = name
+			}
+		case "math/rand", "math/rand/v2":
+			if randName = "rand"; name != "" {
+				randName = name
+			}
+		}
+	}
+
+	inSim := strings.HasPrefix(filepath.ToSlash(path), "internal/sim/")
+
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			sel, ok := n.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			pkg, ok := sel.X.(*ast.Ident)
+			if !ok || pkg.Obj != nil { // Obj != nil: a local var shadows the package name
+				return true
+			}
+			switch {
+			case timeName != "" && pkg.Name == timeName && sel.Sel.Name == "Now":
+				if !waived[fset.Position(n.Pos()).Line] {
+					report(n.Pos(), "time.Now() in simulated logic; use the engine clock, or waive with //%s", walltimeWaiver)
+				}
+			case randName != "" && pkg.Name == randName && globalRandFuncs[sel.Sel.Name]:
+				report(n.Pos(), "global math/rand.%s; draw from an explicitly seeded *rand.Rand (sim.Engine.Rand)", sel.Sel.Name)
+			}
+		case *ast.MapType:
+			if inSim {
+				report(n.Pos(), "map type in internal/sim; the simulation core must not depend on map iteration order")
+			}
+		}
+		return true
+	})
+	return out
+}

@@ -14,6 +14,7 @@ import (
 	"dyrs/internal/dfs"
 	"dyrs/internal/migration"
 	"dyrs/internal/sim"
+	"dyrs/internal/trace"
 )
 
 // JobSpec describes one MapReduce job.
@@ -116,6 +117,7 @@ type Job struct {
 	SpeculativeLaunched int
 
 	fw           *Framework
+	span         trace.SpanRef // job lifecycle span (submission to finish)
 	mapsPending  int
 	mapsRunning  int
 	mapsDone     int
@@ -154,6 +156,7 @@ type Framework struct {
 	cl  *cluster.Cluster
 	fs  *dfs.FS
 	mgr migration.Manager
+	tr  *trace.Tracer // run tracer; nil (no-op) when untraced
 
 	freeSlots []int
 	pending   []*task
@@ -192,6 +195,7 @@ func New(fs *dfs.FS, mgr migration.Manager) *Framework {
 		cl:            cl,
 		fs:            fs,
 		mgr:           mgr,
+		tr:            trace.FromEngine(cl.Engine()),
 		jobs:          make(map[migration.JobID]*Job),
 		LocalityDelay: 3 * time.Second,
 	}
@@ -244,6 +248,16 @@ func (fw *Framework) Submit(spec JobSpec) (*Job, error) {
 	j.ShuffleBytes = sim.Bytes(float64(j.InputBytes) * spec.MapOutputRatio)
 	j.OutputBytes = sim.Bytes(float64(j.ShuffleBytes) * spec.OutputRatio)
 	fw.jobs[j.ID] = j
+	if fw.tr.Enabled() {
+		name := spec.Name
+		if name == "" {
+			name = "job"
+		}
+		j.span = fw.tr.Begin("job", name, trace.NodeMaster,
+			trace.Int("job", int64(j.ID)),
+			trace.Int("maps", int64(j.totalMaps)),
+			trace.Int("input-bytes", int64(j.InputBytes)))
+	}
 
 	if spec.Migrate {
 		if err := fw.mgr.Migrate(j.ID, spec.InputFiles, spec.ImplicitEvict); err != nil {
@@ -389,6 +403,16 @@ func (fw *Framework) launch(t *task, node cluster.NodeID) {
 			j.FirstTask = start
 		}
 		j.running[t] = &runningMap{task: t, node: node, started: start, speculated: isDup}
+		var tsp trace.SpanRef
+		if fw.tr.Enabled() {
+			tsp = j.span.Child("task", "map", int(node),
+				trace.Int("job", int64(j.ID)),
+				trace.Int("block", int64(t.block.ID)))
+			if isDup {
+				tsp.Annotate(trace.Str("speculative", "true"))
+			}
+			fw.tr.Inc("task.map")
+		}
 		fw.eng.Schedule(j.Spec.TaskOverhead, func() {
 			err := fw.fs.ReadBlock(node, t.block.ID, func(rr dfs.ReadResult) {
 				if rr.Failed {
@@ -396,6 +420,7 @@ func (fw *Framework) launch(t *task, node cluster.NodeID) {
 					// fails; count the block done so the job finishes
 					// degraded rather than hanging.
 					delete(j.running, t)
+					tsp.End(trace.Str("outcome", "failed"))
 					if t.avoid >= 0 {
 						fw.freeSlots[int(node)]++
 						fw.trySchedule()
@@ -411,6 +436,7 @@ func (fw *Framework) launch(t *task, node cluster.NodeID) {
 					if j.doneBlocks[t.block.ID] {
 						// A speculative sibling already won; just free
 						// the slot.
+						tsp.End(trace.Str("outcome", "lost-race"))
 						fw.freeSlots[int(node)]++
 						fw.trySchedule()
 						return
@@ -424,6 +450,7 @@ func (fw *Framework) launch(t *task, node cluster.NodeID) {
 						ReadDone: rr.Finished,
 						Finished: fw.eng.Now(),
 					})
+					tsp.End(trace.Str("source", rr.Source.String()))
 					fw.mapDone(j, node)
 				})
 			})
@@ -431,6 +458,7 @@ func (fw *Framework) launch(t *task, node cluster.NodeID) {
 				// No live replica: the task fails; count it done so the
 				// job can finish degraded rather than hang.
 				delete(j.running, t)
+				tsp.End(trace.Str("outcome", "failed"))
 				if isDup {
 					fw.freeSlots[int(node)]++
 					fw.trySchedule()
@@ -450,16 +478,25 @@ func (fw *Framework) launch(t *task, node cluster.NodeID) {
 	// Reduce task: fetch shuffle share over the NIC, compute, write output.
 	share := j.ShuffleBytes / sim.Bytes(j.Spec.Reducers)
 	outShare := j.OutputBytes / sim.Bytes(j.Spec.Reducers)
+	var tsp trace.SpanRef
+	if fw.tr.Enabled() {
+		tsp = j.span.Child("task", "reduce", int(node),
+			trace.Int("job", int64(j.ID)),
+			trace.Int("reducer", int64(t.reducer)))
+		fw.tr.Inc("task.reduce")
+	}
 	fw.eng.Schedule(j.Spec.TaskOverhead, func() {
+		done := func() {
+			tsp.End()
+			fw.reduceDone(j, node)
+		}
 		finishCompute := func() {
 			cpu := sim.Duration(j.Spec.ReduceCPUPerByte * float64(share) * float64(sim.Second))
 			fw.eng.Schedule(cpu, func() {
 				if outShare > 0 {
-					fw.fs.WriteBlocks(node, outShare, j.Spec.OutputReplication, func() {
-						fw.reduceDone(j, node)
-					})
+					fw.fs.WriteBlocks(node, outShare, j.Spec.OutputReplication, done)
 				} else {
-					fw.reduceDone(j, node)
+					done()
 				}
 			})
 		}
@@ -501,6 +538,7 @@ func (fw *Framework) reduceDone(j *Job, node cluster.NodeID) {
 func (fw *Framework) finishJob(j *Job) {
 	j.Finished = fw.eng.Now()
 	j.State = JobDone
+	j.span.End(trace.Dur("lead-time", j.LeadTime()))
 	// Job completion evicts its inputs (the framework issues the evict
 	// command on the job's behalf, §III-C3).
 	fw.mgr.Evict(j.ID)

@@ -14,6 +14,7 @@ import (
 
 	"dyrs/internal/cluster"
 	"dyrs/internal/sim"
+	"dyrs/internal/trace"
 )
 
 // BlockID identifies a block in the file system.
@@ -105,6 +106,38 @@ func (s ReadSource) FromMemory() bool {
 	return s == SourceMemLocal || s == SourceMemRemote
 }
 
+// bytesCounter names the tracer counter accumulating bytes served from
+// this source. Precomputed constants keep the traced read path free of
+// string concatenation.
+func (s ReadSource) bytesCounter() string {
+	switch s {
+	case SourceDiskLocal:
+		return "read.bytes.disk-local"
+	case SourceDiskRemote:
+		return "read.bytes.disk-remote"
+	case SourceMemLocal:
+		return "read.bytes.mem-local"
+	case SourceMemRemote:
+		return "read.bytes.mem-remote"
+	}
+	return "read.bytes.unknown"
+}
+
+// countCounter names the tracer counter of reads served from this source.
+func (s ReadSource) countCounter() string {
+	switch s {
+	case SourceDiskLocal:
+		return "read.count.disk-local"
+	case SourceDiskRemote:
+		return "read.count.disk-remote"
+	case SourceMemLocal:
+		return "read.count.mem-local"
+	case SourceMemRemote:
+		return "read.count.mem-remote"
+	}
+	return "read.count.unknown"
+}
+
 // ReadResult describes a completed block read.
 type ReadResult struct {
 	Block    BlockID
@@ -160,6 +193,7 @@ type FS struct {
 	cl  *cluster.Cluster
 	cfg Config
 	rng *rand.Rand
+	tr  *trace.Tracer // run tracer; nil (no-op) when untraced
 
 	files  map[string]*File
 	blocks []*Block
@@ -194,6 +228,7 @@ func New(cl *cluster.Cluster, cfg Config) *FS {
 		cl:    cl,
 		cfg:   cfg,
 		rng:   rand.New(rand.NewSource(eng.Rand().Int63())),
+		tr:    trace.FromEngine(eng),
 		files: make(map[string]*File),
 		mem:   make(map[BlockID]cluster.NodeID),
 	}
@@ -398,6 +433,11 @@ func (fs *FS) DropMem(id BlockID, node cluster.NodeID) {
 	if fs.mem[id] == node {
 		delete(fs.mem, id)
 	}
+	if fs.tr.Enabled() {
+		fs.tr.Inc("evictions")
+		fs.tr.Instant("migration", "evict", int(node),
+			trace.Int("block", int64(id)), trace.Int("size", int64(size)))
+	}
 }
 
 // DropAllMem clears every buffered block on a node — what happens when a
@@ -408,6 +448,12 @@ func (fs *FS) DropAllMem(node cluster.NodeID) {
 		if fs.mem[id] == node {
 			delete(fs.mem, id)
 		}
+	}
+	if fs.tr.Enabled() && len(dn.memBlocks) > 0 {
+		fs.tr.Add("evictions", int64(len(dn.memBlocks)))
+		fs.tr.Instant("migration", "evict-all", int(node),
+			trace.Int("blocks", int64(len(dn.memBlocks))),
+			trace.Int("bytes", int64(dn.memUsed)))
 	}
 	dn.memBlocks = make(map[BlockID]sim.Bytes)
 	dn.memUsed = 0
@@ -435,19 +481,32 @@ func (fs *FS) TotalMemUsed() sim.Bytes {
 // metadata before the transfer begins; the migration layer uses it for
 // implicit eviction.
 func (fs *FS) ReadBlock(at cluster.NodeID, id BlockID, done func(ReadResult)) error {
-	return fs.readAttempt(at, id, fs.eng.Now(), nil, done, true)
+	var sp trace.SpanRef
+	if fs.tr.Enabled() {
+		sp = fs.tr.Begin("read", "read", int(at),
+			trace.Int("block", int64(id)),
+			trace.Int("size", int64(fs.blocks[int(id)].Size)))
+	}
+	return fs.readAttempt(at, id, fs.eng.Now(), nil, done, true, sp)
 }
 
 // readAttempt is one try at serving the read; on hitting a node that is
 // actually down (but still offered by the stale NameNode view), it pays
 // the connect timeout and retries with that node excluded — the client
-// fail-over of §III-C2.
+// fail-over of §III-C2. sp is the read's trace span, threaded through
+// the fail-over retries so the whole read (timeouts included) is one
+// span.
 func (fs *FS) readAttempt(at cluster.NodeID, id BlockID, start sim.Time,
-	exclude map[cluster.NodeID]bool, done func(ReadResult), first bool) error {
+	exclude map[cluster.NodeID]bool, done func(ReadResult), first bool, sp trace.SpanRef) error {
 	b := fs.blocks[int(id)]
 
 	finish := func(src ReadSource, server cluster.NodeID) {
 		res := ReadResult{Block: id, Source: src, Server: server, Started: start, Finished: fs.eng.Now()}
+		if fs.tr.Enabled() {
+			fs.tr.Add(src.bytesCounter(), b.Size)
+			fs.tr.Inc(src.countCounter())
+			sp.End(trace.Str("source", src.String()), trace.Int("server", int64(server)))
+		}
 		if done != nil {
 			done(res)
 		}
@@ -459,12 +518,17 @@ func (fs *FS) readAttempt(at cluster.NodeID, id BlockID, start sim.Time,
 		}
 		fs.eng.Schedule(timeout, func() {
 			fs.failedOvers++
+			if fs.tr.Enabled() {
+				fs.tr.Inc("read.failover")
+				fs.tr.Instant("read", "failover", int(at),
+					trace.Int("block", int64(id)), trace.Int("dead-server", int64(server)))
+			}
 			ex := exclude
 			if ex == nil {
 				ex = make(map[cluster.NodeID]bool)
 			}
 			ex[server] = true
-			fs.readAttempt(at, id, start, ex, done, false)
+			fs.readAttempt(at, id, start, ex, done, false, sp)
 		})
 	}
 
@@ -499,6 +563,7 @@ func (fs *FS) readAttempt(at cluster.NodeID, id BlockID, start sim.Time,
 		}
 	}
 	if len(replicas) == 0 {
+		sp.End(trace.Str("outcome", "failed"))
 		if first {
 			return ErrNoReplica
 		}

@@ -63,7 +63,7 @@ func RunBench(seed int64, reps, jobs int, progress func(runner.Event)) (*BenchRe
 	for i, exp := range reg {
 		rep.Rows[i] = BenchRow{Name: exp.Name, Reps: reps}
 	}
-	start := time.Now()
+	start := time.Now() //lint:walltime — wall-clock benchmark timing is the point here
 	for r := 0; r < reps; r++ {
 		results := runner.Run(registryJobs(reg, seed), runner.Options{Jobs: jobs, Progress: progress})
 		if err := runner.FirstError(results); err != nil {

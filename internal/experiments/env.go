@@ -13,6 +13,7 @@ import (
 	"dyrs/internal/dfs"
 	"dyrs/internal/migration"
 	"dyrs/internal/sim"
+	"dyrs/internal/trace"
 )
 
 // Policy selects one of the four file-system configurations compared in
@@ -54,6 +55,9 @@ type Options struct {
 	// switch capacity in bytes/sec (0 = non-blocking).
 	Racks         int
 	CoreBandwidth float64
+	// Trace attaches a trace.Tracer to the run so migrations, reads and
+	// tasks record spans; retrieve it with Env.Tracer.
+	Trace bool
 }
 
 // DefaultOptions mirrors the paper's 7-worker testbed.
@@ -82,6 +86,11 @@ func NewEnv(policy Policy, opt Options) *Env {
 		opt.Workers = 7
 	}
 	eng := sim.NewEngine(opt.Seed)
+	if opt.Trace {
+		// Attach before any component constructs: they capture the run's
+		// tracer once at construction time.
+		trace.New(eng)
+	}
 	cl := cluster.New(eng, opt.Workers, func(i int) cluster.NodeConfig {
 		cfg := cluster.DefaultNodeConfig()
 		if opt.NodeConfig != nil {
@@ -141,6 +150,10 @@ func NewEnv(policy Policy, opt Options) *Env {
 	})
 	return e
 }
+
+// Tracer returns the run's tracer, or nil when Options.Trace was off.
+// The nil result is safe to use: trace methods no-op on nil.
+func (e *Env) Tracer() *trace.Tracer { return trace.FromEngine(e.Eng) }
 
 // CreateInput creates a DFS file and, under the RAM policy, pins it in
 // memory up front (the vmtouch step of §V-A).

@@ -3,6 +3,7 @@ package migration
 import (
 	"dyrs/internal/cluster"
 	"dyrs/internal/sim"
+	"dyrs/internal/trace"
 )
 
 // DYRSBinder implements the paper's binding policy: migrations stay
@@ -123,6 +124,12 @@ func (b *DYRSBinder) UpdateTargets() {
 			bi.hasTarget = false
 			continue
 		}
+		if tr := b.c.tr; tr.Enabled() && (!bi.hasTarget || bi.target != best) {
+			// Record the ordering decision only when it changes, so the
+			// trace shows retargeting without one instant per pass.
+			tr.Instant("migration", "target", int(best),
+				trace.Int("block", int64(bi.block.ID)))
+		}
 		bi.target = best
 		bi.hasTarget = true
 		finish[best] = bestFinish
@@ -159,6 +166,7 @@ func (b *IgnemBinder) OnMigrate(blocks []*blockInfo) {
 		if len(locs) == 0 {
 			bi.state = stateNone
 			b.c.stats.Dropped++
+			b.c.dropTrace(bi, "no-replica")
 			continue
 		}
 		loc := locs[b.c.eng.Rand().Intn(len(locs))]

@@ -2,11 +2,13 @@ package migration
 
 import (
 	"fmt"
+	"sort"
 
 	"dyrs/internal/cluster"
 	"dyrs/internal/dfs"
 	"dyrs/internal/metrics"
 	"dyrs/internal/sim"
+	"dyrs/internal/trace"
 )
 
 // Coordinator is the migration framework: the master-side bookkeeping
@@ -18,6 +20,7 @@ type Coordinator struct {
 	cl  *cluster.Cluster
 	fs  *dfs.FS
 	cfg Config
+	tr  *trace.Tracer // run tracer; nil (no-op) when untraced
 
 	binder Binder
 	slaves []*Slave
@@ -62,6 +65,7 @@ func NewCoordinator(fs *dfs.FS, cfg Config, binder Binder) *Coordinator {
 		cl:        cl,
 		fs:        fs,
 		cfg:       cfg,
+		tr:        trace.FromEngine(cl.Engine()),
 		binder:    binder,
 		sched:     alwaysActive{},
 		info:      make(map[dfs.BlockID]*blockInfo),
@@ -138,6 +142,13 @@ func (c *Coordinator) Migrate(job JobID, files []string, implicitEvict bool) err
 			bi.state = statePending
 			bi.hasTarget = false
 			c.stats.Requested++
+			if c.tr.Enabled() {
+				bi.span = c.tr.Begin("migration", "migrate", trace.NodeMaster,
+					trace.Int("job", int64(job)),
+					trace.Int("block", int64(b.ID)),
+					trace.Int("size", int64(b.Size)))
+				c.tr.Inc("migration.requested")
+			}
 			fresh = append(fresh, bi)
 		}
 		bi.refs[job] = true
@@ -160,9 +171,16 @@ func (c *Coordinator) Migrate(job JobID, files []string, implicitEvict bool) err
 }
 
 // Evict implements Manager: the job's explicit eviction command routed
-// through the master (§III-C3).
+// through the master (§III-C3). Blocks are released in block-ID order so
+// the run — including any recorded trace — is independent of map
+// iteration order.
 func (c *Coordinator) Evict(job JobID) {
+	ids := make([]dfs.BlockID, 0, len(c.jobBlocks[job]))
 	for id := range c.jobBlocks[job] {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
 		bi := c.info[id]
 		if bi == nil {
 			continue
@@ -218,10 +236,12 @@ func (c *Coordinator) maybeRelease(bi *blockInfo) {
 		c.binder.Remove(bi)
 		bi.state = stateNone
 		c.stats.Dropped++
+		c.dropTrace(bi, "released-pending")
 	case stateQueued:
 		c.slaves[int(bi.slave)].dequeue(bi)
 		bi.state = stateNone
 		c.stats.Dropped++
+		c.dropTrace(bi, "released-queued")
 	case stateMigrating:
 		if c.cfg.CancelOnMissedRead {
 			// Discard the in-flight migration: its disk bandwidth is
@@ -233,6 +253,7 @@ func (c *Coordinator) maybeRelease(bi *blockInfo) {
 			c.slaves[int(bi.slave)].abortActive(bi)
 			bi.state = stateNone
 			c.stats.Dropped++
+			c.dropTrace(bi, "missed-read")
 			return
 		}
 		// Policies without missed-read handling let the migration
@@ -241,6 +262,15 @@ func (c *Coordinator) maybeRelease(bi *blockInfo) {
 		c.fs.DropMem(bi.block.ID, bi.slave)
 		bi.state = stateNone
 		c.stats.Evicted++
+	}
+}
+
+// dropTrace closes a block's migration span as dropped with the given
+// reason. A no-op when untraced or when the span already ended.
+func (c *Coordinator) dropTrace(bi *blockInfo, reason string) {
+	if c.tr.Enabled() {
+		bi.span.End(trace.Str("outcome", "dropped"), trace.Str("reason", reason))
+		c.tr.Inc("migration.dropped")
 	}
 }
 
@@ -277,6 +307,9 @@ func (c *Coordinator) RestartMaster() {
 		switch bi.state {
 		case statePending:
 			bi.state = stateNone
+			if c.tr.Enabled() {
+				bi.span.End(trace.Str("outcome", "dropped"), trace.Str("reason", "master-restart"))
+			}
 		case stateQueued, stateMigrating, stateInMemory:
 			// Slave-side state persists; the new master relearns it as
 			// slaves heartbeat and scavenge.
@@ -294,14 +327,20 @@ func (c *Coordinator) RestartSlaveProcess(id cluster.NodeID) {
 	for _, bi := range s.queue {
 		bi.state = stateNone
 		c.stats.Dropped++
+		c.dropTrace(bi, "slave-restart")
 	}
 	s.queue = nil
 	for bi, am := range s.active {
 		if am.flow != nil {
 			am.flow.Cancel()
 		}
+		if c.tr.Enabled() {
+			am.span.End(trace.Str("outcome", "aborted"))
+			c.tr.Inc("migration.aborted")
+		}
 		bi.state = stateNone
 		c.stats.Dropped++
+		c.dropTrace(bi, "slave-restart")
 	}
 	s.active = make(map[*blockInfo]*activeMigration)
 	// Blocks buffered in memory on this node are gone.

@@ -23,6 +23,7 @@ import (
 	"dyrs/internal/cluster"
 	"dyrs/internal/dfs"
 	"dyrs/internal/sim"
+	"dyrs/internal/trace"
 )
 
 // JobID identifies a job for reference-list bookkeeping.
@@ -221,4 +222,8 @@ type blockInfo struct {
 	target     cluster.NodeID // Algorithm 1 target while pending
 	hasTarget  bool
 	enqueuedAt sim.Time
+	// span is the block's migration lifecycle trace span, opened at the
+	// Migrate request and closed at pin, drop or abort. Zero (no-op)
+	// when the run is untraced.
+	span trace.SpanRef
 }

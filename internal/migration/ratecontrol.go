@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"dyrs/internal/sim"
+	"dyrs/internal/trace"
 )
 
 // RateController adaptively adjusts the migration streams' IO weight in
@@ -89,7 +90,22 @@ func (rc *RateController) tick() {
 		}
 	}
 	if w != rc.c.cfg.IOWeight {
+		if tr := rc.c.tr; tr.Enabled() {
+			tr.Instant("migration", "throttle", trace.NodeMaster,
+				trace.Float("weight", w),
+				trace.Float("prev", rc.c.cfg.IOWeight),
+				trace.Str("direction", throttleDirection(contended)))
+			tr.Inc("migration.throttle")
+		}
 		rc.c.cfg.IOWeight = w
 		rc.Adjustments++
 	}
+}
+
+// throttleDirection names the AIMD branch for trace attributes.
+func throttleDirection(contended bool) string {
+	if contended {
+		return "decay"
+	}
+	return "recover"
 }

@@ -4,6 +4,7 @@ import (
 	"dyrs/internal/cluster"
 	"dyrs/internal/metrics"
 	"dyrs/internal/sim"
+	"dyrs/internal/trace"
 )
 
 // estimator tracks a slave's migration speed as an EWMA over
@@ -41,6 +42,7 @@ func (e *estimator) reset() { e.ewma.Set(e.seed) }
 type activeMigration struct {
 	flow    *sim.Flow
 	started sim.Time
+	span    trace.SpanRef // rate-controlled transfer span, child of the block's migration span
 }
 
 // Slave is the per-DataNode migration agent: it keeps a short local FIFO
@@ -167,6 +169,12 @@ func (s *Slave) enqueue(bi *blockInfo) {
 	bi.slave = s.node.ID
 	bi.enqueuedAt = s.c.eng.Now()
 	s.queue = append(s.queue, bi)
+	if tr := s.c.tr; tr.Enabled() {
+		bi.span.Annotate(trace.Int("slave", int64(s.node.ID)),
+			trace.Dur("bound-after", s.c.eng.Now().Sub(bi.span.Begin())))
+		tr.Instant("migration", "bind", int(s.node.ID),
+			trace.Int("block", int64(bi.block.ID)))
+	}
 }
 
 // dequeue removes a queued block (eviction / missed read).
@@ -198,6 +206,12 @@ func (s *Slave) kick() {
 		next.state = stateMigrating
 		am := &activeMigration{started: s.c.eng.Now()}
 		s.active[next] = am
+		if tr := s.c.tr; tr.Enabled() {
+			am.span = next.span.Child("migration", "transfer", int(s.node.ID),
+				trace.Int("block", int64(next.block.ID)),
+				trace.Int("size", int64(next.block.Size)),
+				trace.Float("io-weight", s.c.cfg.IOWeight))
+		}
 		flow, err := dn.MigrateToMemory(next.block.ID, s.c.cfg.IOWeight, func(d sim.Duration) {
 			s.finish(next, d)
 		})
@@ -207,6 +221,10 @@ func (s *Slave) kick() {
 			delete(s.active, next)
 			next.state = stateNone
 			s.c.stats.Dropped++
+			if tr := s.c.tr; tr.Enabled() {
+				am.span.End(trace.Str("outcome", "failed"))
+			}
+			s.c.dropTrace(next, "no-replica")
 			continue
 		}
 		am.flow = flow
@@ -219,6 +237,14 @@ func (s *Slave) finish(bi *blockInfo, d sim.Duration) {
 	s.estimator.observe(d.Seconds(), bi.block.Size)
 	s.Migrations++
 	s.BytesMigrated += bi.block.Size
+	if tr := s.c.tr; tr.Enabled() {
+		if am := s.active[bi]; am != nil {
+			am.span.End(trace.Str("outcome", "completed"))
+		}
+		bi.span.End(trace.Str("outcome", "pinned"), trace.Int("slave", int64(s.node.ID)))
+		tr.Inc("migration.completed")
+		tr.Add("migration.bytes", bi.block.Size)
+	}
 	delete(s.active, bi)
 	s.c.onMigrated(bi, s.node.ID)
 	s.kick()
@@ -233,6 +259,10 @@ func (s *Slave) abortActive(bi *blockInfo) {
 	}
 	if am.flow != nil {
 		am.flow.Cancel()
+	}
+	if tr := s.c.tr; tr.Enabled() {
+		am.span.End(trace.Str("outcome", "aborted"))
+		tr.Inc("migration.aborted")
 	}
 	delete(s.active, bi)
 	s.kick()

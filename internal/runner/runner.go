@@ -138,7 +138,7 @@ func Run(jobs []Job, opt Options) []Result {
 			for i := range next {
 				j := jobs[i]
 				emit(Event{Kind: EventStart, Name: j.Name, Index: i})
-				start := time.Now()
+				start := time.Now() //lint:walltime — measures real execution time, not simulated time
 				v, err, panicked := capture(j)
 				res := Result{
 					Name: j.Name, Index: i,

@@ -153,7 +153,29 @@ type Engine struct {
 	rng     *rand.Rand
 	stopped bool
 	fired   uint64
+
+	// tracer is an opaque per-run observability object (internal/trace
+	// attaches its Tracer here). The engine itself never calls it — the
+	// slot only lets higher layers find the run's tracer through the
+	// engine they already hold, without sim importing the trace package.
+	tracer any
+	// flowSink, when non-nil, observes resource flow admissions and
+	// completions. Kept as a separate typed field so the per-flow hook
+	// is a plain nil check, not a type assertion.
+	flowSink FlowSink
 }
+
+// SetTracer attaches an opaque tracing object to the engine for
+// retrieval with Tracer. The engine does not interpret it.
+func (e *Engine) SetTracer(t any) { e.tracer = t }
+
+// Tracer returns the object attached with SetTracer, or nil.
+func (e *Engine) Tracer() any { return e.tracer }
+
+// SetFlowSink installs an observer for resource flow lifecycle events.
+// Pass nil to detach. When no sink is installed the flow hot path pays
+// only a nil check.
+func (e *Engine) SetFlowSink(s FlowSink) { e.flowSink = s }
 
 // NewEngine returns an engine whose randomness derives from seed.
 // The same seed always produces the same simulation.

@@ -55,6 +55,16 @@ func SeekEfficiency(penalty float64) EfficiencyFunc {
 	}
 }
 
+// FlowSink observes flow lifecycle on every Resource of an Engine.
+// Install with Engine.SetFlowSink. FlowStarted fires on admission
+// (Start/StartWeighted/StartLoad); FlowEnded fires on completion
+// (completed=true, before the flow's done callback) or cancellation
+// (completed=false). Implemented by the internal/trace Tracer.
+type FlowSink interface {
+	FlowStarted(r *Resource, f *Flow)
+	FlowEnded(r *Resource, f *Flow, completed bool)
+}
+
 // Flow is one transfer in progress on a Resource. Flows receive a
 // weighted fair share of the resource's current effective capacity and
 // complete when their remaining bytes reach zero.
@@ -80,6 +90,15 @@ func (f *Flow) Started() Time { return f.started }
 
 // Active reports whether the flow is still transferring.
 func (f *Flow) Active() bool { return f.active }
+
+// Size reports the flow's original size in bytes, or 0 for persistent
+// load flows (which have no size).
+func (f *Flow) Size() Bytes {
+	if math.IsNaN(f.total) {
+		return 0
+	}
+	return Bytes(f.total)
+}
 
 // Resource models a device with a shared, time-varying capacity —
 // a disk or a NIC. Concurrent flows share the effective capacity in
@@ -226,6 +245,9 @@ func (r *Resource) StartWeighted(size Bytes, weight float64, done func(f *Flow))
 	r.flows = append(r.flows, f)
 	r.totalW += weight
 	r.rebalance()
+	if s := r.eng.flowSink; s != nil {
+		s.FlowStarted(r, f)
+	}
 	return f
 }
 
@@ -248,6 +270,9 @@ func (r *Resource) StartLoad(weight float64) *Flow {
 	r.flows = append(r.flows, f)
 	r.totalW += weight
 	r.rebalance()
+	if s := r.eng.flowSink; s != nil {
+		s.FlowStarted(r, f)
+	}
 	return f
 }
 
@@ -263,6 +288,9 @@ func (f *Flow) Cancel() {
 	r.remove(f)
 	r.totalW -= f.weight
 	r.rebalance()
+	if s := r.eng.flowSink; s != nil {
+		s.FlowEnded(r, f, false)
+	}
 }
 
 // remove deletes a flow while preserving the admission order of the
@@ -387,6 +415,9 @@ func (r *Resource) completeRipe() {
 			r.totalW = 0
 		}
 		r.recomputeRates()
+		if s := r.eng.flowSink; s != nil {
+			s.FlowEnded(r, ripe, true)
+		}
 		if ripe.done != nil {
 			ripe.done(ripe)
 		}

@@ -1,0 +1,235 @@
+// Trace export: a canonical JSON document (schema dyrs-trace/v1,
+// deterministic and byte-identical across runs at the same seed, in the
+// style of the dyrs-bench/v1 timing documents) and Chrome trace-event
+// JSON loadable in Perfetto or chrome://tracing.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Schema versions the canonical trace document layout.
+const Schema = "dyrs-trace/v1"
+
+type spanJSON struct {
+	ID      int               `json:"id"`
+	Parent  int               `json:"parent,omitempty"`
+	Cat     string            `json:"cat"`
+	Name    string            `json:"name"`
+	Node    int               `json:"node"`
+	BeginNS int64             `json:"begin_ns"`
+	EndNS   int64             `json:"end_ns"` // -1: still open at export
+	Attrs   map[string]string `json:"attrs,omitempty"`
+}
+
+type instantJSON struct {
+	Cat   string            `json:"cat"`
+	Name  string            `json:"name"`
+	Node  int               `json:"node"`
+	AtNS  int64             `json:"at_ns"`
+	Attrs map[string]string `json:"attrs,omitempty"`
+}
+
+type traceDoc struct {
+	Schema   string           `json:"schema"`
+	NowNS    int64            `json:"now_ns"` // virtual clock at export
+	Counters map[string]int64 `json:"counters"`
+	Spans    []spanJSON       `json:"spans"`
+	Instants []instantJSON    `json:"instants"`
+}
+
+// attrMap flattens attributes for export; on duplicate keys the last
+// write wins, matching Span.Attr.
+func attrMap(attrs []Attr) map[string]string {
+	if len(attrs) == 0 {
+		return nil
+	}
+	m := make(map[string]string, len(attrs))
+	for _, a := range attrs {
+		m[a.Key] = a.Val
+	}
+	return m
+}
+
+// WriteJSON writes the canonical trace document. Every field derives
+// from virtual time, seeded randomness or record order, and
+// encoding/json sorts map keys, so identical seeds produce
+// byte-identical documents.
+func (t *Tracer) WriteJSON(w io.Writer) error {
+	doc := traceDoc{
+		Schema:   Schema,
+		NowNS:    int64(t.eng.Now()),
+		Counters: t.Counters(),
+		Spans:    make([]spanJSON, len(t.spans)),
+		Instants: make([]instantJSON, len(t.instants)),
+	}
+	for i, s := range t.spans {
+		doc.Spans[i] = spanJSON{
+			ID: s.ID, Parent: s.Parent, Cat: s.Cat, Name: s.Name, Node: s.Node,
+			BeginNS: int64(s.Begin), EndNS: int64(s.End), Attrs: attrMap(s.Attrs),
+		}
+	}
+	for i, in := range t.instants {
+		doc.Instants[i] = instantJSON{
+			Cat: in.Cat, Name: in.Name, Node: in.Node,
+			AtNS: int64(in.At), Attrs: attrMap(in.Attrs),
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(doc)
+}
+
+// ChromeEvent is one entry of the Chrome trace-event format
+// (ph "M" metadata, "X" complete span, "i" instant, "C" counter).
+// Timestamps and durations are microseconds.
+type ChromeEvent struct {
+	Name  string            `json:"name"`
+	Cat   string            `json:"cat,omitempty"`
+	Ph    string            `json:"ph"`
+	TS    float64           `json:"ts"`
+	Dur   float64           `json:"dur,omitempty"`
+	PID   int               `json:"pid"`
+	TID   int               `json:"tid"`
+	Scope string            `json:"s,omitempty"`
+	Args  map[string]string `json:"args,omitempty"`
+}
+
+// ChromeDoc is the top-level Chrome trace-event JSON object.
+type ChromeDoc struct {
+	TraceEvents     []ChromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// Track layout inside Perfetto: one process per node (pid 0 is the
+// master / cluster scope, pid n+1 is worker node n), with one thread
+// per span category so migrations, reads and tasks stack on separate
+// rows of the same node.
+func chromeTID(cat string) (int, string) {
+	switch cat {
+	case "task":
+		return 1, "tasks"
+	case "read":
+		return 2, "reads"
+	case "migration":
+		return 3, "migrations"
+	case "job":
+		return 4, "jobs"
+	}
+	return 5, "events"
+}
+
+func chromePID(node int) int { return node + 1 } // NodeMaster (-1) -> 0
+
+const usPerNS = 1e-3
+
+// WriteChromeTrace writes the trace in Chrome trace-event JSON. Spans
+// still open at export are clamped to the current virtual instant.
+// Span linkage survives the format via args["span"]/args["parent"].
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	now := t.eng.Now()
+	doc := ChromeDoc{DisplayTimeUnit: "ms"}
+
+	// Metadata: name every (process, thread) track actually used.
+	type track struct{ pid, tid int }
+	pids := map[int]bool{}
+	tracks := map[track]string{}
+	note := func(node int, cat string) (int, int) {
+		pid := chromePID(node)
+		tid, tname := chromeTID(cat)
+		pids[pid] = true
+		tracks[track{pid, tid}] = tname
+		return pid, tid
+	}
+	for _, s := range t.spans {
+		note(s.Node, s.Cat)
+	}
+	for _, in := range t.instants {
+		note(in.Node, in.Cat)
+	}
+	pidList := make([]int, 0, len(pids))
+	for pid := range pids {
+		pidList = append(pidList, pid)
+	}
+	sort.Ints(pidList)
+	for _, pid := range pidList {
+		name := "master"
+		if pid > 0 {
+			name = fmt.Sprintf("node%d", pid-1)
+		}
+		doc.TraceEvents = append(doc.TraceEvents, ChromeEvent{
+			Name: "process_name", Ph: "M", PID: pid,
+			Args: map[string]string{"name": name},
+		})
+		doc.TraceEvents = append(doc.TraceEvents, ChromeEvent{
+			Name: "process_sort_index", Ph: "M", PID: pid,
+			Args: map[string]string{"sort_index": fmt.Sprint(pid)},
+		})
+	}
+	trackList := make([]track, 0, len(tracks))
+	for tr := range tracks {
+		trackList = append(trackList, tr)
+	}
+	sort.Slice(trackList, func(i, j int) bool {
+		if trackList[i].pid != trackList[j].pid {
+			return trackList[i].pid < trackList[j].pid
+		}
+		return trackList[i].tid < trackList[j].tid
+	})
+	for _, tr := range trackList {
+		doc.TraceEvents = append(doc.TraceEvents, ChromeEvent{
+			Name: "thread_name", Ph: "M", PID: tr.pid, TID: tr.tid,
+			Args: map[string]string{"name": tracks[tr]},
+		})
+	}
+
+	for _, s := range t.spans {
+		pid, tid := note(s.Node, s.Cat)
+		end := s.End
+		args := attrMap(s.Attrs)
+		if args == nil {
+			args = map[string]string{}
+		}
+		args["span"] = fmt.Sprint(s.ID)
+		if s.Parent != 0 {
+			args["parent"] = fmt.Sprint(s.Parent)
+		}
+		if end < 0 {
+			end = now
+			args["open"] = "true"
+		}
+		doc.TraceEvents = append(doc.TraceEvents, ChromeEvent{
+			Name: s.Name, Cat: s.Cat, Ph: "X",
+			TS: float64(s.Begin) * usPerNS, Dur: float64(end-s.Begin) * usPerNS,
+			PID: pid, TID: tid, Args: args,
+		})
+	}
+	for _, in := range t.instants {
+		pid, tid := note(in.Node, in.Cat)
+		doc.TraceEvents = append(doc.TraceEvents, ChromeEvent{
+			Name: in.Name, Cat: in.Cat, Ph: "i", Scope: "t",
+			TS: float64(in.At) * usPerNS, PID: pid, TID: tid,
+			Args: attrMap(in.Attrs),
+		})
+	}
+
+	// Final counter values as "C" events at the export instant, so the
+	// registry shows up as counter tracks.
+	names := make([]string, 0, len(t.counters))
+	for name := range t.counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		doc.TraceEvents = append(doc.TraceEvents, ChromeEvent{
+			Name: name, Ph: "C", TS: float64(now) * usPerNS, PID: 0,
+			Args: map[string]string{"value": fmt.Sprint(*t.counters[name])},
+		})
+	}
+
+	enc := json.NewEncoder(w)
+	return enc.Encode(doc)
+}

@@ -1,0 +1,130 @@
+// Trace-derived summary statistics: the causal numbers the paper's
+// evaluation reasons about (achieved lead-time, migration margin) are
+// recomputed here purely from recorded spans, demonstrating that the
+// trace alone carries the full migration/read timeline.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"dyrs/internal/metrics"
+)
+
+// Summary aggregates a run's trace into the distributions the paper's
+// figures are built from.
+type Summary struct {
+	Spans    int
+	Instants int
+
+	MigrationsRequested int64
+	MigrationsCompleted int64
+	MigrationsAborted   int64
+	MigrationsDropped   int64
+	MigrationBytes      int64
+	Evictions           int64
+	Throttles           int64
+
+	// ReadBytes maps read source ("disk-local", "disk-remote",
+	// "mem-local", "mem-remote") to bytes served from it.
+	ReadBytes map[string]int64
+
+	// LeadTime: per pinned migration whose block was later read, seconds
+	// from the Migrate request to the job's first read of that block —
+	// the lead-time Algorithm 1 actually achieved.
+	LeadTime *metrics.Sample
+	// Margin: seconds from migration pin to that first read. Positive
+	// means the block was in memory before the job touched it.
+	Margin *metrics.Sample
+}
+
+// Summarize recomputes summary statistics from the recorded spans and
+// counters. Lead-time and margin are derived from span timestamps
+// alone: migration spans carry the request ("begin"), pin ("end",
+// outcome=pinned) and block attrs; read spans carry the block attr.
+func (t *Tracer) Summarize() *Summary {
+	if t == nil {
+		return nil
+	}
+	s := &Summary{
+		Spans:               len(t.spans),
+		Instants:            len(t.instants),
+		MigrationsRequested: t.Counter("migration.requested"),
+		MigrationsCompleted: t.Counter("migration.completed"),
+		MigrationsAborted:   t.Counter("migration.aborted"),
+		MigrationsDropped:   t.Counter("migration.dropped"),
+		MigrationBytes:      t.Counter("migration.bytes"),
+		Evictions:           t.Counter("evictions"),
+		Throttles:           t.Counter("migration.throttle"),
+		ReadBytes:           map[string]int64{},
+		LeadTime:            metrics.NewSample(),
+		Margin:              metrics.NewSample(),
+	}
+	for _, src := range []string{"disk-local", "disk-remote", "mem-local", "mem-remote"} {
+		if v := t.Counter("read.bytes." + src); v != 0 {
+			s.ReadBytes[src] = v
+		}
+	}
+
+	// First read instant per block, from read spans.
+	firstRead := map[string]int64{}
+	for i := range t.spans {
+		sp := &t.spans[i]
+		if sp.Cat != "read" {
+			continue
+		}
+		block := sp.Attr("block")
+		if block == "" {
+			continue
+		}
+		if at, ok := firstRead[block]; !ok || int64(sp.Begin) < at {
+			firstRead[block] = int64(sp.Begin)
+		}
+	}
+	for i := range t.spans {
+		sp := &t.spans[i]
+		if sp.Cat != "migration" || sp.Name != "migrate" || sp.Open() {
+			continue
+		}
+		if sp.Attr("outcome") != "pinned" {
+			continue
+		}
+		read, ok := firstRead[sp.Attr("block")]
+		if !ok {
+			continue
+		}
+		const nsPerSec = 1e9
+		s.LeadTime.Add(float64(read-int64(sp.Begin)) / nsPerSec)
+		s.Margin.Add(float64(read-int64(sp.End)) / nsPerSec)
+	}
+	return s
+}
+
+// String renders the summary as an indented multi-line block.
+func (s *Summary) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "  spans %d, instants %d\n", s.Spans, s.Instants)
+	fmt.Fprintf(&b, "  migrations: requested %d, completed %d, aborted %d, dropped %d, evictions %d, throttle events %d\n",
+		s.MigrationsRequested, s.MigrationsCompleted, s.MigrationsAborted,
+		s.MigrationsDropped, s.Evictions, s.Throttles)
+	srcs := make([]string, 0, len(s.ReadBytes))
+	for src := range s.ReadBytes {
+		srcs = append(srcs, src)
+	}
+	sort.Strings(srcs)
+	parts := make([]string, len(srcs))
+	for i, src := range srcs {
+		parts[i] = fmt.Sprintf("%s %.2fGB", src, float64(s.ReadBytes[src])/(1<<30))
+	}
+	if len(parts) > 0 {
+		fmt.Fprintf(&b, "  read bytes by path: %s\n", strings.Join(parts, ", "))
+	}
+	if n := s.LeadTime.Len(); n > 0 {
+		fmt.Fprintf(&b, "  achieved lead-time (request->first read, n=%d): p50 %.1fs, p90 %.1fs, mean %.1fs\n",
+			n, s.LeadTime.Percentile(50), s.LeadTime.Percentile(90), s.LeadTime.Mean())
+		fmt.Fprintf(&b, "  migration margin (pin->first read, n=%d): p50 %.1fs, min %.1fs\n",
+			n, s.Margin.Percentile(50), s.Margin.Min())
+	}
+	return strings.TrimRight(b.String(), "\n")
+}

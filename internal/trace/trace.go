@@ -1,0 +1,338 @@
+// Package trace is the deterministic observability layer of the
+// simulator: a virtual-time tracer recording spans (begin/end intervals
+// with node and key=value attributes), instant events, and a counter /
+// gauge registry, threaded through the DFS, migration and compute
+// layers so one run yields a complete causal timeline — when a
+// migration was requested vs. when its job's first read landed, which
+// reads were redirected to memory, where rate control throttled.
+//
+// Everything is keyed to sim.Time, so traces are exactly reproducible:
+// the same seed produces a byte-identical canonical JSON export.
+//
+// A nil *Tracer is valid and records nothing. Every method has a
+// nil-receiver fast path, so "tracing disabled" costs a nil check and
+// no allocations; components cache the run's tracer once at
+// construction via FromEngine and call it unconditionally.
+package trace
+
+import (
+	"strconv"
+	"strings"
+
+	"dyrs/internal/sim"
+)
+
+// Attr is one key=value span/instant attribute. Values are strings so
+// the canonical encoding never depends on float formatting subtleties
+// at export time; use the Str/Int/Float/Dur constructors.
+type Attr struct {
+	Key string
+	Val string
+}
+
+// Str builds a string attribute.
+func Str(k, v string) Attr { return Attr{Key: k, Val: v} }
+
+// Int builds an integer attribute.
+func Int(k string, v int64) Attr { return Attr{Key: k, Val: strconv.FormatInt(v, 10)} }
+
+// Float builds a float attribute (shortest round-trip formatting,
+// deterministic for identical values).
+func Float(k string, v float64) Attr {
+	return Attr{Key: k, Val: strconv.FormatFloat(v, 'g', -1, 64)}
+}
+
+// Dur builds a duration attribute in integer nanoseconds.
+func Dur(k string, d sim.Duration) Attr { return Int(k, int64(d)) }
+
+// NodeMaster is the Node value for master/cluster-scoped events that
+// belong to no single worker.
+const NodeMaster = -1
+
+// Span is one begin/end interval in virtual time. End is -1 while the
+// span is open.
+type Span struct {
+	ID     int    // 1-based, assigned in Begin order
+	Parent int    // parent span ID, 0 = root
+	Cat    string // taxonomy bucket: "migration", "read", "task", "job"
+	Name   string
+	Node   int // worker node index, or NodeMaster
+	Begin  sim.Time
+	End    sim.Time // -1 while open
+	Attrs  []Attr
+}
+
+// Open reports whether the span has not ended.
+func (s *Span) Open() bool { return s.End < 0 }
+
+// Attr returns the value of the last attribute with the given key, or
+// "" when absent.
+func (s *Span) Attr(key string) string {
+	for i := len(s.Attrs) - 1; i >= 0; i-- {
+		if s.Attrs[i].Key == key {
+			return s.Attrs[i].Val
+		}
+	}
+	return ""
+}
+
+// Instant is a point event in virtual time.
+type Instant struct {
+	Cat   string
+	Name  string
+	Node  int
+	At    sim.Time
+	Attrs []Attr
+}
+
+// flowCounters caches the per-resource counter cells the FlowSink hot
+// path increments, so steady-state flow tracing allocates nothing.
+type flowCounters struct {
+	started, completed, cancelled, bytes *int64
+}
+
+// Tracer records one run's trace. Construct with New, which attaches
+// the tracer to the engine; retrieve anywhere with FromEngine.
+type Tracer struct {
+	eng      *sim.Engine
+	spans    []Span
+	instants []Instant
+	counters map[string]*int64
+	res      map[*sim.Resource]*flowCounters
+}
+
+// New creates a tracer and attaches it to the engine — both as the
+// engine's opaque tracer slot (so components find it via FromEngine)
+// and as the flow sink observing resource-level transfer lifecycle.
+// Attach before building the cluster/DFS/framework stack: components
+// capture the tracer at construction.
+func New(eng *sim.Engine) *Tracer {
+	t := &Tracer{
+		eng:      eng,
+		counters: make(map[string]*int64),
+		res:      make(map[*sim.Resource]*flowCounters),
+	}
+	eng.SetTracer(t)
+	eng.SetFlowSink(t)
+	return t
+}
+
+// FromEngine returns the tracer attached to the engine, or nil when
+// the run is untraced. The nil result is directly usable: all Tracer
+// methods are nil-safe no-ops.
+func FromEngine(eng *sim.Engine) *Tracer {
+	t, _ := eng.Tracer().(*Tracer)
+	return t
+}
+
+// Enabled reports whether the tracer actually records. Call sites use
+// it to skip attribute construction on the disabled path.
+func (t *Tracer) Enabled() bool { return t != nil }
+
+// Now reports the tracer's current virtual time.
+func (t *Tracer) Now() sim.Time {
+	if t == nil {
+		return 0
+	}
+	return t.eng.Now()
+}
+
+// SpanRef is a cheap handle on a recorded span. The zero SpanRef (from
+// a nil tracer) is valid; End/Annotate/Child on it are no-ops.
+type SpanRef struct {
+	t   *Tracer
+	idx int
+}
+
+// Begin opens a root span.
+func (t *Tracer) Begin(cat, name string, node int, attrs ...Attr) SpanRef {
+	if t == nil {
+		return SpanRef{}
+	}
+	id := len(t.spans) + 1
+	t.spans = append(t.spans, Span{
+		ID: id, Cat: cat, Name: name, Node: node,
+		Begin: t.eng.Now(), End: -1, Attrs: attrs,
+	})
+	return SpanRef{t: t, idx: id - 1}
+}
+
+// Instant records a point event.
+func (t *Tracer) Instant(cat, name string, node int, attrs ...Attr) {
+	if t == nil {
+		return
+	}
+	t.instants = append(t.instants, Instant{
+		Cat: cat, Name: name, Node: node, At: t.eng.Now(), Attrs: attrs,
+	})
+}
+
+// Child opens a span parented under s. A child may live on a different
+// node track than its parent (a master-side migration span parents the
+// slave-side transfer span).
+func (s SpanRef) Child(cat, name string, node int, attrs ...Attr) SpanRef {
+	if s.t == nil {
+		return SpanRef{}
+	}
+	c := s.t.Begin(cat, name, node, attrs...)
+	s.t.spans[c.idx].Parent = s.t.spans[s.idx].ID
+	return c
+}
+
+// Annotate appends attributes to the span (allowed after End).
+func (s SpanRef) Annotate(attrs ...Attr) {
+	if s.t == nil {
+		return
+	}
+	sp := &s.t.spans[s.idx]
+	sp.Attrs = append(sp.Attrs, attrs...)
+}
+
+// End closes the span at the current virtual instant, appending any
+// final attributes. Ending an already-ended span is a no-op (the first
+// outcome wins), so teardown paths may End defensively.
+func (s SpanRef) End(attrs ...Attr) {
+	if s.t == nil {
+		return
+	}
+	sp := &s.t.spans[s.idx]
+	if sp.End >= 0 {
+		return
+	}
+	sp.End = s.t.eng.Now()
+	sp.Attrs = append(sp.Attrs, attrs...)
+}
+
+// Begin reports the span's begin instant, or 0 for the zero SpanRef.
+func (s SpanRef) Begin() sim.Time {
+	if s.t == nil {
+		return 0
+	}
+	return s.t.spans[s.idx].Begin
+}
+
+// ID reports the span's 1-based ID, or 0 for the zero SpanRef.
+func (s SpanRef) ID() int {
+	if s.t == nil {
+		return 0
+	}
+	return s.t.spans[s.idx].ID
+}
+
+// Spans returns the recorded spans in begin order. The slice is the
+// tracer's own storage; callers must not mutate it.
+func (t *Tracer) Spans() []Span {
+	if t == nil {
+		return nil
+	}
+	return t.spans
+}
+
+// Instants returns the recorded instants in record order (tracer-owned
+// storage; do not mutate).
+func (t *Tracer) Instants() []Instant {
+	if t == nil {
+		return nil
+	}
+	return t.instants
+}
+
+// --- counter / gauge registry ---
+
+func (t *Tracer) cell(name string) *int64 {
+	p := t.counters[name]
+	if p == nil {
+		p = new(int64)
+		t.counters[name] = p
+	}
+	return p
+}
+
+// Add increments the named counter by delta.
+func (t *Tracer) Add(name string, delta int64) {
+	if t == nil {
+		return
+	}
+	*t.cell(name) += delta
+}
+
+// Inc increments the named counter by one.
+func (t *Tracer) Inc(name string) { t.Add(name, 1) }
+
+// Set overwrites the named cell — gauge semantics.
+func (t *Tracer) Set(name string, v int64) {
+	if t == nil {
+		return
+	}
+	*t.cell(name) = v
+}
+
+// Counter reports the named counter's value (0 when absent or the
+// tracer is nil).
+func (t *Tracer) Counter(name string) int64 {
+	if t == nil {
+		return 0
+	}
+	if p := t.counters[name]; p != nil {
+		return *p
+	}
+	return 0
+}
+
+// Counters returns a snapshot copy of the whole registry.
+func (t *Tracer) Counters() map[string]int64 {
+	if t == nil {
+		return nil
+	}
+	out := make(map[string]int64, len(t.counters))
+	for k, p := range t.counters {
+		out[k] = *p
+	}
+	return out
+}
+
+// --- sim.FlowSink: resource-level flow accounting ---
+
+// resourceKind maps "disk:node3" to "disk"; names without a colon
+// (e.g. "core-switch") are their own kind.
+func resourceKind(name string) string {
+	if i := strings.IndexByte(name, ':'); i >= 0 {
+		return name[:i]
+	}
+	return name
+}
+
+func (t *Tracer) flowCells(r *sim.Resource) *flowCounters {
+	fc := t.res[r]
+	if fc == nil {
+		kind := resourceKind(r.Name())
+		fc = &flowCounters{
+			started:   t.cell("flow.started." + kind),
+			completed: t.cell("flow.completed." + kind),
+			cancelled: t.cell("flow.cancelled." + kind),
+			bytes:     t.cell("flow.bytes." + kind),
+		}
+		t.res[r] = fc
+	}
+	return fc
+}
+
+// FlowStarted implements sim.FlowSink: it counts flow admissions per
+// resource kind. Only counters are kept — per-flow spans would dwarf
+// the semantic spans recorded by the DFS/migration/compute layers.
+func (t *Tracer) FlowStarted(r *sim.Resource, f *sim.Flow) {
+	*t.flowCells(r).started++
+}
+
+// FlowEnded implements sim.FlowSink.
+func (t *Tracer) FlowEnded(r *sim.Resource, f *sim.Flow, completed bool) {
+	fc := t.flowCells(r)
+	if completed {
+		*fc.completed++
+		*fc.bytes += f.Size()
+	} else {
+		*fc.cancelled++
+	}
+}
+
+var _ sim.FlowSink = (*Tracer)(nil)
