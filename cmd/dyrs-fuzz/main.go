@@ -1,0 +1,146 @@
+// Command dyrs-fuzz sweeps randomized scenarios through the fuzzing
+// harness (internal/harness): each seed generates a cluster topology, a
+// mixed workload and a fault schedule, runs it under DYRS twice and
+// under plain HDFS once, and checks the invariant, conservation,
+// liveness, metamorphic and determinism oracles.
+//
+// Examples:
+//
+//	dyrs-fuzz -seeds 200                 # sweep seeds 1..200 in parallel
+//	dyrs-fuzz -seed 17                   # check one seed, verbosely
+//	dyrs-fuzz -seed 17 -repro 'faults=0;jobs=1'   # replay a shrunk repro
+//
+// On the first failing seed the harness shrinks the scenario (dropping
+// faults, then jobs, while the same oracle keeps failing) and prints a
+// one-line reproduction command.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"dyrs/internal/harness"
+	"dyrs/internal/runner"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "dyrs-fuzz:", err)
+		os.Exit(1)
+	}
+}
+
+// run is main minus the exit code, so tests can drive the binary
+// in-process.
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("dyrs-fuzz", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	seed := fs.Int64("seed", 0, "check a single seed (0: sweep -seeds)")
+	seeds := fs.Int("seeds", 50, "number of consecutive seeds to sweep")
+	start := fs.Int64("start", 1, "first seed of the sweep")
+	jobs := fs.Int("jobs", 0, "parallel scenario checks (<=0: GOMAXPROCS)")
+	repro := fs.String("repro", "", "keep-mask from a shrunk repro, e.g. 'faults=0,2;jobs=1' (requires -seed)")
+	shrink := fs.Bool("shrink", true, "shrink failing scenarios to a minimal repro")
+	verbose := fs.Bool("v", false, "print every scenario as it is checked")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *repro != "" && *seed == 0 {
+		return fmt.Errorf("-repro requires -seed")
+	}
+	if *seed != 0 {
+		return checkOne(stdout, *seed, *repro, *shrink)
+	}
+
+	type outcome struct {
+		seed     int64
+		failures []harness.Failure
+	}
+	work := make([]runner.Job, *seeds)
+	for i := 0; i < *seeds; i++ {
+		s := *start + int64(i)
+		work[i] = runner.Job{
+			Name: fmt.Sprintf("seed-%d", s),
+			Run: func() (any, error) {
+				return outcome{seed: s, failures: harness.CheckScenario(harness.Generate(s))}, nil
+			},
+		}
+	}
+	var progress func(runner.Event)
+	if *verbose {
+		progress = func(ev runner.Event) {
+			if ev.Kind == runner.EventDone {
+				fmt.Fprintf(stdout, "[%d/%d] %s (%.1fs)\n", ev.Done, ev.Total, ev.Name, ev.Elapsed.Seconds())
+			}
+		}
+	}
+	results := runner.Run(work, runner.Options{Jobs: *jobs, Progress: progress})
+
+	failed := 0
+	for _, r := range results {
+		if r.Err != nil {
+			failed++
+			fmt.Fprintf(stdout, "%s: harness error: %v\n", r.Name, r.Err)
+			continue
+		}
+		oc := r.Value.(outcome)
+		if len(oc.failures) == 0 {
+			continue
+		}
+		failed++
+		reportFailure(stdout, oc.seed, oc.failures, *shrink)
+	}
+	if failed > 0 {
+		return fmt.Errorf("%d of %d seeds failed", failed, *seeds)
+	}
+	fmt.Fprintf(stdout, "ok: %d seeds, %d scenario runs, all oracles passed\n",
+		*seeds, *seeds*3)
+	return nil
+}
+
+// checkOne replays a single seed (optionally under a repro keep-mask)
+// and reports in detail.
+func checkOne(stdout io.Writer, seed int64, mask string, shrink bool) error {
+	rep, err := harness.ParseRepro(seed, mask)
+	if err != nil {
+		return err
+	}
+	sc := rep.Scenario()
+	fmt.Fprintf(stdout, "scenario: %s\n", sc)
+	for i, j := range sc.Jobs {
+		fmt.Fprintf(stdout, "  job[%d]   %-10s %s  size=%d  submit=%v lead=%v\n",
+			i, j.Kind, j.File, j.Size, j.Submit, j.Lead)
+	}
+	for i, f := range sc.Faults {
+		fmt.Fprintf(stdout, "  fault[%d] %-14s node=%d at=%v\n", i, f.Kind, f.Node, f.At)
+	}
+	r := harness.RunScenario(sc, "DYRS")
+	fmt.Fprintf(stdout, "DYRS run: completed=%d/%d stats=%+v trace=%.12s…\n",
+		len(r.Completed), r.Submitted, r.Stats, r.TraceHash)
+	failures := harness.CheckScenario(sc)
+	if len(failures) == 0 {
+		fmt.Fprintf(stdout, "ok: seed %d passed all oracles\n", seed)
+		return nil
+	}
+	// A repro replay is already reduced; only shrink the full scenario.
+	reportFailure(stdout, seed, failures, shrink && mask == "")
+	return fmt.Errorf("seed %d failed %d oracle check(s)", seed, len(failures))
+}
+
+// reportFailure prints a seed's oracle violations and, when asked, the
+// shrunk reproduction command.
+func reportFailure(stdout io.Writer, seed int64, failures []harness.Failure, shrink bool) {
+	fmt.Fprintf(stdout, "FAIL seed %d (%d violations):\n", seed, len(failures))
+	for _, f := range failures {
+		fmt.Fprintf(stdout, "  %s\n", f)
+	}
+	if !shrink {
+		return
+	}
+	oracle := harness.FailedOracles(failures)[0]
+	rep := harness.Shrink(seed, oracle)
+	fmt.Fprintf(stdout, "  shrunk to %d event(s); repro: %s\n", rep.Events(), rep.Command())
+}

@@ -1,0 +1,48 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSweepSmall(t *testing.T) {
+	var out, errb strings.Builder
+	if err := run([]string{"-seeds", "3"}, &out, &errb); err != nil {
+		t.Fatalf("sweep failed: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "ok: 3 seeds") {
+		t.Errorf("missing summary in output:\n%s", out.String())
+	}
+}
+
+func TestSingleSeedVerbose(t *testing.T) {
+	var out, errb strings.Builder
+	if err := run([]string{"-seed", "7"}, &out, &errb); err != nil {
+		t.Fatalf("seed check failed: %v\n%s", err, out.String())
+	}
+	for _, want := range []string{"scenario:", "job[0]", "DYRS run:", "passed all oracles"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output lacks %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestReproReplay(t *testing.T) {
+	var out, errb strings.Builder
+	if err := run([]string{"-seed", "7", "-repro", "jobs=0"}, &out, &errb); err != nil {
+		t.Fatalf("repro replay failed: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "jobs=1") {
+		t.Errorf("mask not applied:\n%s", out.String())
+	}
+}
+
+func TestFlagValidation(t *testing.T) {
+	var out, errb strings.Builder
+	if err := run([]string{"-repro", "jobs=0"}, &out, &errb); err == nil {
+		t.Error("-repro without -seed accepted")
+	}
+	if err := run([]string{"-badflag"}, &out, &errb); err == nil {
+		t.Error("unknown flag accepted")
+	}
+}

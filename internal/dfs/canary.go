@@ -1,0 +1,13 @@
+//go:build !dyrs_canary
+
+package dfs
+
+// canaryLeakBufferAccounting deliberately re-introduces a known
+// accounting bug — DropAllMem forgetting to zero the crashed node's
+// buffered-byte counter — when the build tag dyrs_canary is set. The
+// fuzz harness's oracle self-test (internal/harness, canary_test.go)
+// builds with that tag and asserts the oracle battery detects the bug
+// and shrinks a failing scenario to a minimal repro, proving the
+// oracles are not vacuous. Normal builds compile the constant to false
+// and the branch away entirely.
+const canaryLeakBufferAccounting = false

@@ -1,0 +1,9 @@
+//go:build dyrs_canary
+
+package dfs
+
+// canaryLeakBufferAccounting: see canary.go. Under the dyrs_canary
+// build tag DropAllMem skips the buffered-byte release on a slave
+// crash, leaking accounting state the fuzz harness's fsck and
+// memory-conservation oracles must catch.
+const canaryLeakBufferAccounting = true

@@ -410,10 +410,19 @@ func (fs *FS) MemReplica(id BlockID) (cluster.NodeID, bool) {
 // RegisterMem records that node holds an in-memory replica of the block
 // and charges the bytes to the DataNode's buffer accounting. Called by
 // the migration slave when a migration completes.
+//
+// A block has at most one registered memory replica. If a stale copy is
+// still buffered on another node — possible when the migration master
+// lost its state in a fail-over and re-migrated the block — the stale
+// copy is released so the registry and the per-node buffers stay in
+// bijection (Fsck invariant 3 checks both directions).
 func (fs *FS) RegisterMem(id BlockID, node cluster.NodeID) {
 	dn := fs.dns[int(node)]
 	if _, ok := dn.memBlocks[id]; ok {
 		return
+	}
+	if prev, ok := fs.mem[id]; ok && prev != node {
+		fs.DropMem(id, prev)
 	}
 	size := fs.blocks[int(id)].Size
 	dn.memBlocks[id] = size
@@ -456,7 +465,21 @@ func (fs *FS) DropAllMem(node cluster.NodeID) {
 			trace.Int("bytes", int64(dn.memUsed)))
 	}
 	dn.memBlocks = make(map[BlockID]sim.Bytes)
-	dn.memUsed = 0
+	if !canaryLeakBufferAccounting {
+		dn.memUsed = 0
+	}
+}
+
+// MemBlockIDs returns the blocks resident in this node's buffer, sorted
+// by block ID. The migration slave's scavenger walks this list; sorting
+// keeps reclamation order (and any trace it emits) deterministic.
+func (dn *DataNode) MemBlockIDs() []BlockID {
+	ids := make([]BlockID, 0, len(dn.memBlocks))
+	for id := range dn.memBlocks {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
 }
 
 // MemReplicaCount reports the number of blocks with an in-memory replica.

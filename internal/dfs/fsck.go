@@ -14,8 +14,10 @@ import (
 // Invariants checked:
 //  1. Every file's blocks exist, belong to it, and are indexed densely.
 //  2. Every block has between 1 and Replication replicas, all distinct.
-//  3. The in-memory replica registry points at nodes that actually hold
-//     the block in their buffer.
+//  3. The in-memory replica registry and the per-node buffers agree in
+//     both directions: the registry points at nodes that actually hold
+//     the block, and every buffered block is the registry's holder (a
+//     block has at most one memory replica).
 //  4. Per-DataNode buffered-byte accounting equals the sum of resident
 //     block sizes, and no node exceeds its memory capacity.
 //  5. Every buffered block is also a disk-replica holder's block (memory
@@ -65,7 +67,7 @@ func (fs *FS) Fsck() []error {
 		}
 	}
 
-	// 4-5: per-node accounting.
+	// 3 (reverse), 4-5: per-node accounting.
 	for _, dn := range fs.dns {
 		var sum sim.Bytes
 		for id, size := range dn.memBlocks {
@@ -74,6 +76,10 @@ func (fs *FS) Fsck() []error {
 				report("node %v charges block %d at %d bytes, want %d", dn.node.ID, id, size, b.Size)
 			}
 			sum += size
+			if holder, ok := fs.mem[id]; !ok || holder != dn.node.ID {
+				report("node %v buffers block %d, but the registry records holder %v (registered=%v)",
+					dn.node.ID, id, holder, ok)
+			}
 			holds := false
 			for _, r := range b.Replicas {
 				if r == dn.node.ID {
@@ -89,6 +95,9 @@ func (fs *FS) Fsck() []error {
 		}
 		if dn.memUsed < 0 {
 			report("node %v has negative buffered bytes: %d", dn.node.ID, dn.memUsed)
+		}
+		if cap := dn.node.Cfg.MemCapacity; dn.memUsed > cap {
+			report("node %v buffers %d bytes, exceeding its memory capacity %d", dn.node.ID, dn.memUsed, cap)
 		}
 	}
 	return errs

@@ -1,0 +1,168 @@
+package dfs
+
+import (
+	"testing"
+	"time"
+
+	"dyrs/internal/sim"
+)
+
+// Boundary tests for the liveness tracker: the extreme configurations
+// the fuzzing harness can generate must behave sanely, not just the
+// HDFS-like defaults.
+
+// TestLivenessMissedBeatsOne is the fastest-detection boundary: a
+// single missed heartbeat marks the node dead, so the stale window is
+// at most two intervals after the node's last heartbeat.
+func TestLivenessMissedBeatsOne(t *testing.T) {
+	t.Parallel()
+	eng, cl, fs := newTestFS(t, 5, 70)
+	fs.EnableHeartbeats(LivenessConfig{
+		Interval:       time.Second,
+		MissedBeats:    1,
+		ConnectTimeout: 500 * time.Millisecond,
+	})
+	defer fs.DisableHeartbeats()
+	f, _ := fs.CreateFile("in", 256*sim.MB)
+	b := fs.Block(f.Blocks[0])
+	victim := b.Replicas[0]
+
+	// Last heartbeat lands on the 5s tick; the node dies just after.
+	eng.RunUntil(sim.Time(5500 * time.Millisecond))
+	cl.KillNode(victim)
+
+	offered := func() bool {
+		for _, r := range fs.Replicas(b.ID) {
+			if r == victim {
+				return true
+			}
+		}
+		return false
+	}
+	// Within the window (lastSeen=5s, deadline 5s+2*1s) the stale view
+	// still offers the victim.
+	eng.RunUntil(sim.Time(6900 * time.Millisecond))
+	if !offered() {
+		t.Fatal("victim dropped before the missed-beat window elapsed")
+	}
+	// One missed beat later it is gone — an order of magnitude faster
+	// than the default three-beat config.
+	eng.RunUntil(sim.Time(7100 * time.Millisecond))
+	if offered() {
+		t.Fatal("victim still offered after a missed beat with MissedBeats=1")
+	}
+}
+
+// TestLivenessZeroConnectTimeout: a zero connect timeout means failing
+// over from an unreachable node costs no extra latency — the read takes
+// (approximately) what a healthy read takes.
+func TestLivenessZeroConnectTimeout(t *testing.T) {
+	t.Parallel()
+	eng, cl, fs := newTestFS(t, 5, 71)
+	fs.EnableHeartbeats(LivenessConfig{
+		Interval:       3 * time.Second,
+		MissedBeats:    3,
+		ConnectTimeout: 0,
+	})
+	defer fs.DisableHeartbeats()
+	f, _ := fs.CreateFile("in", 256*sim.MB)
+	b := fs.Block(f.Blocks[0])
+	victim := b.Replicas[0]
+
+	// Baseline: a healthy read at the victim.
+	var healthy ReadResult
+	if err := fs.ReadBlock(victim, b.ID, func(r ReadResult) { healthy = r }); err != nil {
+		t.Fatal(err)
+	}
+	eng.RunUntil(sim.Time(time.Minute))
+	if healthy.Failed {
+		t.Fatal("healthy read failed")
+	}
+
+	cl.KillNode(victim)
+	var res ReadResult
+	if err := fs.ReadBlock(victim, b.ID, func(r ReadResult) { res = r }); err != nil {
+		t.Fatal(err)
+	}
+	eng.RunUntil(sim.Time(5 * time.Minute))
+	if res.Failed {
+		t.Fatal("read failed despite live replicas")
+	}
+	if res.Server == victim {
+		t.Fatalf("read served by the dead node %v", res.Server)
+	}
+	if fs.FailedOvers() == 0 {
+		t.Fatal("no failover counted")
+	}
+	// No timeout penalty: the failover read costs about one block read,
+	// allowing slack for the remote hop it now takes.
+	if d, h := res.Duration().Seconds(), healthy.Duration().Seconds(); d > h+1.0 {
+		t.Errorf("zero-timeout failover read took %.2fs vs healthy %.2fs", d, h)
+	}
+}
+
+// TestLivenessBlipShorterThanInterval: a node that dies and revives
+// between two heartbeats is never marked dead — the NameNode's view
+// glitches by at most one connect timeout per read during the blip, and
+// the node serves again after reviving.
+func TestLivenessBlipShorterThanInterval(t *testing.T) {
+	t.Parallel()
+	eng, cl, fs := newTestFS(t, 5, 72)
+	fs.EnableHeartbeats(LivenessConfig{
+		Interval:       10 * time.Second,
+		MissedBeats:    3,
+		ConnectTimeout: time.Second,
+	})
+	defer fs.DisableHeartbeats()
+	f, _ := fs.CreateFile("in", 256*sim.MB)
+	b := fs.Block(f.Blocks[0])
+	victim := b.Replicas[0]
+	// A memory replica pins reads to the victim, so the blip is actually
+	// exercised rather than routed around.
+	fs.RegisterMem(b.ID, victim)
+
+	offered := func() bool {
+		for _, r := range fs.Replicas(b.ID) {
+			if r == victim {
+				return true
+			}
+		}
+		return false
+	}
+
+	// Down from 12s to 15s: strictly inside the 10s..20s tick gap.
+	eng.RunUntil(sim.Time(12 * time.Second))
+	cl.KillNode(victim)
+	var during ReadResult
+	if err := fs.ReadBlock((victim+1)%5, b.ID, func(r ReadResult) { during = r }); err != nil {
+		t.Fatal(err)
+	}
+	eng.RunUntil(sim.Time(15 * time.Second))
+	cl.ReviveNode(victim)
+
+	if !offered() {
+		t.Fatal("victim dropped although no heartbeat was ever missed")
+	}
+	eng.RunUntil(sim.Time(60 * time.Second))
+	if during.Failed {
+		t.Fatal("read during the blip failed")
+	}
+	if during.Server == victim {
+		t.Error("read during the blip served by the down node")
+	}
+	if fs.FailedOvers() == 0 {
+		t.Error("blip read did not fail over")
+	}
+	if !offered() {
+		t.Fatal("victim not offered after reviving")
+	}
+	// After revival the memory replica serves again.
+	var after ReadResult
+	if err := fs.ReadBlock((victim+1)%5, b.ID, func(r ReadResult) { after = r }); err != nil {
+		t.Fatal(err)
+	}
+	eng.RunUntil(sim.Time(2 * time.Minute))
+	if after.Failed || !after.Source.FromMemory() {
+		t.Errorf("post-blip read not served from memory: %+v", after)
+	}
+}

@@ -1,0 +1,240 @@
+package harness
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"dyrs/internal/experiments"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	t.Parallel()
+	for seed := int64(1); seed <= 50; seed++ {
+		a, b := Generate(seed), Generate(seed)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("seed %d: Generate is not deterministic:\n%+v\n%+v", seed, a, b)
+		}
+	}
+}
+
+func TestGenerateBounds(t *testing.T) {
+	t.Parallel()
+	for seed := int64(1); seed <= 200; seed++ {
+		sc := Generate(seed)
+		if sc.Workers < 5 || sc.Workers > 8 {
+			t.Fatalf("seed %d: workers = %d", seed, sc.Workers)
+		}
+		if len(sc.Jobs) < 2 || len(sc.Jobs) > 5 {
+			t.Fatalf("seed %d: %d jobs", seed, len(sc.Jobs))
+		}
+		names := map[string]bool{}
+		files := map[string]bool{}
+		for _, j := range sc.Jobs {
+			if names[j.Name] || files[j.File] {
+				t.Fatalf("seed %d: duplicate job name/file %q/%q", seed, j.Name, j.File)
+			}
+			names[j.Name], files[j.File] = true, true
+			if j.Size <= 0 {
+				t.Fatalf("seed %d: job %s has size %d", seed, j.Name, j.Size)
+			}
+			if j.Kind == KindJoin && (j.File2 == "" || j.Size2 <= 0) {
+				t.Fatalf("seed %d: join %s lacks a right input", seed, j.Name)
+			}
+		}
+		deaths := 0
+		for _, f := range sc.Faults {
+			if f.At <= 0 || f.At >= sc.Horizon {
+				t.Fatalf("seed %d: fault at %v outside horizon", seed, f.At)
+			}
+			if f.Node < 0 || f.Node >= sc.Workers {
+				t.Fatalf("seed %d: fault on node %d of %d", seed, f.Node, sc.Workers)
+			}
+			switch f.Kind {
+			case FaultNodeDeath:
+				deaths++
+			case FaultInterference:
+				if f.Dur <= 0 || f.Streams <= 0 || f.Weight <= 0 {
+					t.Fatalf("seed %d: malformed interference %+v", seed, f)
+				}
+			}
+		}
+		if deaths > 1 {
+			t.Fatalf("seed %d: %d node deaths", seed, deaths)
+		}
+	}
+}
+
+// TestCheckScenarioSmokeSeeds runs the full oracle battery over a few
+// seeds chosen to cover faults and heterogeneity (the wide sweep lives
+// in CI via cmd/dyrs-fuzz).
+func TestCheckScenarioSmokeSeeds(t *testing.T) {
+	t.Parallel()
+	for _, seed := range []int64{3, 7, 9} {
+		for _, f := range CheckScenario(Generate(seed)) {
+			t.Errorf("seed %d: %s", seed, f)
+		}
+	}
+}
+
+// TestRunScenarioObservations checks the harness actually exercises the
+// system: jobs complete, migrations happen, and the trace hash is
+// stable across runs.
+func TestRunScenarioObservations(t *testing.T) {
+	t.Parallel()
+	sc := Generate(7)
+	r := RunScenario(sc, experiments.DYRS)
+	if len(r.Completed) != len(sc.Jobs) {
+		t.Fatalf("completed %d of %d jobs", len(r.Completed), len(sc.Jobs))
+	}
+	if r.Stats.Migrated == 0 || r.Stats.BytesMigrated == 0 {
+		t.Fatalf("no migration activity: %+v", r.Stats)
+	}
+	if r.Counters["migration.completed"] != int64(r.Stats.Migrated) {
+		t.Fatalf("counter mismatch: %d vs %d", r.Counters["migration.completed"], r.Stats.Migrated)
+	}
+	if r.TraceHash == "" || r.TraceHash != RunScenario(sc, experiments.DYRS).TraceHash {
+		t.Fatal("trace hash empty or unstable")
+	}
+	h := RunScenario(sc, experiments.HDFS)
+	if h.Stats.Requested != 0 || h.MemUsedEnd != 0 {
+		t.Fatalf("HDFS run migrated: %+v", h.Stats)
+	}
+}
+
+// TestEvaluateDetectsSyntheticViolations feeds hand-built results to
+// each oracle to prove none of them is vacuous.
+func TestEvaluateDetectsSyntheticViolations(t *testing.T) {
+	t.Parallel()
+	sc := Generate(1)
+	clean := func() (*RunResult, *RunResult, *RunResult) {
+		mk := func(p experiments.Policy) *RunResult {
+			return &RunResult{Policy: p, TraceHash: "h", Counters: map[string]int64{}}
+		}
+		return mk(experiments.DYRS), mk(experiments.DYRS), mk(experiments.HDFS)
+	}
+	if r1, r2, rh := clean(); len(Evaluate(sc, r1, r2, rh)) != 0 {
+		t.Fatalf("baseline should pass: %v", Evaluate(sc, r1, r2, rh))
+	}
+
+	cases := []struct {
+		oracle string
+		mutate func(r1, r2, rh *RunResult)
+	}{
+		{OracleFsck, func(r1, _, _ *RunResult) { r1.FinalFsck = []string{"bad"} }},
+		{OracleFsck, func(_, _, rh *RunResult) { rh.CheckpointFsck = []string{"bad"} }},
+		{OracleConservation, func(r1, _, _ *RunResult) { r1.MemUsedEnd = 42 }},
+		{OracleConservation, func(r1, _, _ *RunResult) { r1.Stats.Requested = 3 }},
+		{OracleConservation, func(r1, _, _ *RunResult) { r1.OpenSpans = 1 }},
+		{OracleConservation, func(r1, _, _ *RunResult) { r1.ReadSpanBytes = 10 }},
+		{OracleLiveness, func(r1, _, _ *RunResult) { r1.Submitted = 2 }},
+		{OracleLiveness, func(r1, _, _ *RunResult) { r1.QueuedEnd = 1 }},
+		{OracleLiveness, func(r1, _, _ *RunResult) { r1.SubmitErrors = []string{"x"} }},
+		{OracleMetamorphic, func(r1, r2, _ *RunResult) {
+			r1.Completed = []string{"a"}
+			r2.Completed = []string{"a"}
+			r1.Submitted, r2.Submitted = 1, 1
+		}},
+		{OracleDeterminism, func(_, r2, _ *RunResult) { r2.TraceHash = "other" }},
+		{OracleDeterminism, func(_, r2, _ *RunResult) { r2.Stats.Migrated = 9 }},
+	}
+	for i, tc := range cases {
+		r1, r2, rh := clean()
+		tc.mutate(r1, r2, rh)
+		got := Evaluate(sc, r1, r2, rh)
+		found := false
+		for _, f := range got {
+			if f.Oracle == tc.oracle {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("case %d: oracle %s did not fire (got %v)", i, tc.oracle, got)
+		}
+	}
+}
+
+func TestReproParseFormatRoundTrip(t *testing.T) {
+	t.Parallel()
+	for _, mask := range []string{"", "faults=0,2;jobs=1", "faults=none", "jobs=0,1,2"} {
+		r, err := ParseRepro(5, mask)
+		if err != nil {
+			t.Fatalf("%q: %v", mask, err)
+		}
+		if got := r.String(); got != mask {
+			t.Errorf("round trip %q -> %q", mask, got)
+		}
+	}
+	// An empty list is the spelled-out form of "none".
+	r, err := ParseRepro(5, "faults=;jobs=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.KeepFaults) != 0 || r.KeepFaults == nil || !reflect.DeepEqual(r.KeepJobs, []int{0}) {
+		t.Errorf("empty list parsed as %+v", r)
+	}
+	for _, bad := range []string{"faults", "faults=1,x", "blocks=1"} {
+		if _, err := ParseRepro(5, bad); err == nil {
+			t.Errorf("ParseRepro accepted %q", bad)
+		}
+	}
+}
+
+func TestReproScenarioAppliesMasks(t *testing.T) {
+	t.Parallel()
+	var seed int64
+	for seed = 1; ; seed++ {
+		sc := Generate(seed)
+		if len(sc.Faults) >= 2 && len(sc.Jobs) >= 2 {
+			break
+		}
+	}
+	full := Generate(seed)
+	r := Repro{Seed: seed, KeepFaults: []int{1}, KeepJobs: []int{0}}
+	sc := r.Scenario()
+	if len(sc.Faults) != 1 || !reflect.DeepEqual(sc.Faults[0], full.Faults[1]) {
+		t.Fatalf("fault mask not applied: %+v", sc.Faults)
+	}
+	if len(sc.Jobs) != 1 || sc.Jobs[0].Name != full.Jobs[0].Name {
+		t.Fatalf("job mask not applied: %+v", sc.Jobs)
+	}
+	if r.Events() != 2 {
+		t.Fatalf("Events() = %d, want 2", r.Events())
+	}
+	if got, want := r.Command(), fmt.Sprintf("dyrs-fuzz -seed %d -repro 'faults=1;jobs=0'", seed); got != want {
+		t.Fatalf("Command() = %q, want %q", got, want)
+	}
+}
+
+// TestShrinkWithSyntheticPredicate verifies the reduction core finds a
+// one-minimal scenario without touching the simulator.
+func TestShrinkWithSyntheticPredicate(t *testing.T) {
+	t.Parallel()
+	var seed int64
+	for seed = 1; ; seed++ {
+		sc := Generate(seed)
+		if len(sc.Faults) >= 3 && len(sc.Jobs) >= 3 {
+			break
+		}
+	}
+	// Fails whenever at least one fault and one job remain: the minimum
+	// is exactly one of each.
+	calls := 0
+	rep := ShrinkWith(seed, func(sc Scenario) bool {
+		calls++
+		return len(sc.Faults) >= 1 && len(sc.Jobs) >= 1
+	})
+	if len(rep.KeepFaults) != 1 || len(rep.KeepJobs) != 1 {
+		t.Fatalf("shrunk to faults=%v jobs=%v, want one of each", rep.KeepFaults, rep.KeepJobs)
+	}
+	if rep.Events() != 2 {
+		t.Fatalf("Events() = %d after shrink", rep.Events())
+	}
+	if calls == 0 {
+		t.Fatal("predicate never invoked")
+	}
+	// The shrinker must preserve the predicate on its result.
+	if sc := rep.Scenario(); len(sc.Faults) != 1 || len(sc.Jobs) != 1 {
+		t.Fatalf("materialized repro has %d faults, %d jobs", len(sc.Faults), len(sc.Jobs))
+	}
+}

@@ -1,0 +1,212 @@
+// Package harness is the randomized scenario-fuzzing harness: a seeded
+// generator draws whole-cluster scenarios — topology, a mixed workload,
+// and a fault schedule — and an oracle battery checks every run against
+// properties that must hold for ANY scenario:
+//
+//  1. structural: dfs.Fsck reports no catalog / replica / accounting
+//     violation at the end of the run;
+//  2. conservation: the migration framework's Stats agree with the
+//     trace counters and span tallies, and no buffered byte survives
+//     the post-run drain;
+//  3. liveness: every submitted job completes within the horizon and
+//     the migration pipeline drains (no pending or queued leftovers);
+//  4. metamorphic: the same scenario under plain HDFS (no migration)
+//     completes exactly the same set of jobs — migration may only
+//     change speed, never outcomes (§III-C: "the only adverse effect
+//     is the loss of the speedup");
+//  5. determinism: running the identical scenario twice produces
+//     byte-identical canonical traces (same hash), identical stats and
+//     identical completion sets.
+//
+// On failure the harness shrinks the scenario — dropping faults, then
+// jobs, while the same oracle keeps failing — and prints a one-line
+// `dyrs-fuzz -seed N -repro ...` reproduction command.
+package harness
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"dyrs/internal/sim"
+)
+
+// JobKind enumerates the workload shapes the generator mixes.
+type JobKind int
+
+// The generated job kinds (mirroring internal/workload's spec builders).
+const (
+	KindSort JobKind = iota
+	KindGrep
+	KindWordCount
+	KindJoin
+	KindHiveScan // stage-0 Hive table scan: long lead time, implicit evict
+	numJobKinds
+)
+
+func (k JobKind) String() string {
+	switch k {
+	case KindSort:
+		return "sort"
+	case KindGrep:
+		return "grep"
+	case KindWordCount:
+		return "wordcount"
+	case KindJoin:
+		return "join"
+	case KindHiveScan:
+		return "hive-scan"
+	}
+	return fmt.Sprintf("JobKind(%d)", int(k))
+}
+
+// JobSpec is one generated job: a workload shape over one (or, for
+// joins, two) generated input files, submitted at a scenario-relative
+// time with a chosen extra lead time (the window migration feeds on).
+type JobSpec struct {
+	Kind     JobKind
+	Name     string
+	File     string
+	Size     sim.Bytes
+	File2    string    // join only
+	Size2    sim.Bytes // join only
+	Reducers int
+	Lead     time.Duration
+	Submit   time.Duration
+}
+
+// FaultKind enumerates the injected failures.
+type FaultKind int
+
+// The fault classes of §III-C plus disk interference (§V-C).
+const (
+	// FaultSlaveRestart crashes and restarts the migration slave process
+	// on Node: buffers and queued work are lost (§III-C2).
+	FaultSlaveRestart FaultKind = iota
+	// FaultMasterRestart fails over the migration master: reference
+	// lists and pending state are lost (§III-C1).
+	FaultMasterRestart
+	// FaultNodeDeath kills the whole node (machine failure). The
+	// schedule guards at fire time so at least four nodes stay alive.
+	FaultNodeDeath
+	// FaultInterference runs Streams competing readers of the given
+	// Weight on Node's disk for Dur (the dd interference of §V-C).
+	FaultInterference
+	numFaultKinds
+)
+
+func (k FaultKind) String() string {
+	switch k {
+	case FaultSlaveRestart:
+		return "slave-restart"
+	case FaultMasterRestart:
+		return "master-restart"
+	case FaultNodeDeath:
+		return "node-death"
+	case FaultInterference:
+		return "interference"
+	}
+	return fmt.Sprintf("FaultKind(%d)", int(k))
+}
+
+// Fault is one scheduled failure injection.
+type Fault struct {
+	Kind    FaultKind
+	At      time.Duration
+	Node    int           // target node (ignored for master restart)
+	Dur     time.Duration // interference duration
+	Streams int           // interference streams
+	Weight  float64       // interference per-stream weight
+}
+
+// Scenario is one fully specified randomized run. Scenarios are pure
+// data: generating one touches no simulation state, so the same
+// Scenario can be executed under different policies (metamorphic
+// oracle) or repeatedly (determinism oracle).
+type Scenario struct {
+	Seed    int64
+	Workers int
+	// SlowNodes scales the disk bandwidth of fixed-slow hardware
+	// (node index -> scale < 1).
+	SlowNodes map[int]float64
+	// Heartbeats enables the NameNode liveness protocol, so node deaths
+	// exercise the stale-view failover path.
+	Heartbeats bool
+	Jobs       []JobSpec
+	Faults     []Fault
+	// Horizon bounds the whole run; exceeding it is a liveness failure.
+	Horizon time.Duration
+}
+
+// String renders a compact one-line description for failure reports.
+func (sc Scenario) String() string {
+	return fmt.Sprintf("seed=%d workers=%d slow=%d jobs=%d faults=%d hb=%v",
+		sc.Seed, sc.Workers, len(sc.SlowNodes), len(sc.Jobs), len(sc.Faults), sc.Heartbeats)
+}
+
+// Generate draws the scenario for a seed. It is deterministic: the same
+// seed always yields a deeply equal Scenario, which is what makes the
+// keep-mask repro encoding (see Repro) stable.
+func Generate(seed int64) Scenario {
+	rng := rand.New(rand.NewSource(seed))
+	sc := Scenario{
+		Seed:    seed,
+		Workers: 5 + rng.Intn(4), // 5..8, always enough for 3-way replication
+		Horizon: time.Hour,
+	}
+
+	// Fixed hardware heterogeneity: up to two slower disks.
+	if n := rng.Intn(3); n > 0 {
+		sc.SlowNodes = make(map[int]float64)
+		for i := 0; i < n; i++ {
+			sc.SlowNodes[rng.Intn(sc.Workers)] = 0.3 + 0.5*rng.Float64()
+		}
+	}
+	sc.Heartbeats = rng.Intn(2) == 0
+
+	// Workload: 2..5 jobs of mixed shapes, 256 MB .. ~2 GB inputs,
+	// spread over the first half minute.
+	njobs := 2 + rng.Intn(4)
+	for i := 0; i < njobs; i++ {
+		j := JobSpec{
+			Kind:     JobKind(rng.Intn(int(numJobKinds))),
+			Name:     fmt.Sprintf("fz-%d", i),
+			File:     fmt.Sprintf("fuzz/in-%d", i),
+			Size:     sim.Bytes(1+rng.Intn(8)) * 256 * sim.MB,
+			Reducers: 1 + rng.Intn(6),
+			Lead:     time.Duration(2+rng.Intn(7)) * time.Second,
+			Submit:   time.Duration(rng.Intn(31)) * time.Second,
+		}
+		if j.Kind == KindJoin {
+			j.File2 = fmt.Sprintf("fuzz/in-%d-right", i)
+			j.Size2 = sim.Bytes(1+rng.Intn(4)) * 256 * sim.MB
+		}
+		sc.Jobs = append(sc.Jobs, j)
+	}
+
+	// Faults: 0..4, in the window the workload is active. At most one
+	// node death per scenario (the runtime guard additionally refuses to
+	// drop below four live nodes).
+	nfaults := rng.Intn(5)
+	usedDeath := false
+	for i := 0; i < nfaults; i++ {
+		f := Fault{
+			Kind: FaultKind(rng.Intn(int(numFaultKinds))),
+			At:   time.Duration(2+rng.Intn(59)) * time.Second,
+			Node: rng.Intn(sc.Workers),
+		}
+		if f.Kind == FaultNodeDeath && usedDeath {
+			f.Kind = FaultSlaveRestart
+		}
+		if f.Kind == FaultNodeDeath {
+			usedDeath = true
+		}
+		if f.Kind == FaultInterference {
+			f.Dur = time.Duration(5+rng.Intn(26)) * time.Second
+			f.Streams = 1 + rng.Intn(2)
+			f.Weight = 1 + 1.5*rng.Float64()
+		}
+		sc.Faults = append(sc.Faults, f)
+	}
+	return sc
+}

@@ -139,17 +139,35 @@ func (c *Coordinator) Migrate(job JobID, files []string, implicitEvict bool) err
 				}
 				c.info[b.ID] = bi
 			}
-			bi.state = statePending
-			bi.hasTarget = false
-			c.stats.Requested++
-			if c.tr.Enabled() {
-				bi.span = c.tr.Begin("migration", "migrate", trace.NodeMaster,
-					trace.Int("job", int64(job)),
-					trace.Int("block", int64(b.ID)),
-					trace.Int("size", int64(b.Size)))
-				c.tr.Inc("migration.requested")
+			if node, ok := c.fs.MemReplica(b.ID); ok {
+				// The block is already resident — typically because a
+				// master fail-over wiped the reference lists while the
+				// slave-side buffer survived (§III-C1). Re-adopt the
+				// surviving replica instead of migrating a second copy,
+				// which would strand the old one outside any reference
+				// list.
+				bi.state = stateInMemory
+				bi.slave = node
+				c.stats.Readopted++
+				if c.tr.Enabled() {
+					c.tr.Inc("migration.readopted")
+					c.tr.Instant("migration", "readopt", int(node),
+						trace.Int("job", int64(job)),
+						trace.Int("block", int64(b.ID)))
+				}
+			} else {
+				bi.state = statePending
+				bi.hasTarget = false
+				c.stats.Requested++
+				if c.tr.Enabled() {
+					bi.span = c.tr.Begin("migration", "migrate", trace.NodeMaster,
+						trace.Int("job", int64(job)),
+						trace.Int("block", int64(b.ID)),
+						trace.Int("size", int64(b.Size)))
+					c.tr.Inc("migration.requested")
+				}
+				fresh = append(fresh, bi)
 			}
-			fresh = append(fresh, bi)
 		}
 		bi.refs[job] = true
 		if implicitEvict {
@@ -303,13 +321,20 @@ func (c *Coordinator) OnMigrated(fn func(block dfs.BlockID, node cluster.NodeID,
 // jobs finish.
 func (c *Coordinator) RestartMaster() {
 	c.binder.Reset()
-	for _, bi := range c.info {
+	// Walk the tracked blocks in ID order so the trace (span ends, drop
+	// counters) is independent of map iteration order.
+	ids := make([]dfs.BlockID, 0, len(c.info))
+	for id := range c.info {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		bi := c.info[id]
 		switch bi.state {
 		case statePending:
 			bi.state = stateNone
-			if c.tr.Enabled() {
-				bi.span.End(trace.Str("outcome", "dropped"), trace.Str("reason", "master-restart"))
-			}
+			c.stats.Dropped++
+			c.dropTrace(bi, "master-restart")
 		case stateQueued, stateMigrating, stateInMemory:
 			// Slave-side state persists; the new master relearns it as
 			// slaves heartbeat and scavenge.
@@ -330,7 +355,15 @@ func (c *Coordinator) RestartSlaveProcess(id cluster.NodeID) {
 		c.dropTrace(bi, "slave-restart")
 	}
 	s.queue = nil
-	for bi, am := range s.active {
+	// Abort active transfers in block-ID order: s.active is a map, and
+	// the span ends emitted here must not depend on iteration order.
+	actives := make([]*blockInfo, 0, len(s.active))
+	for bi := range s.active {
+		actives = append(actives, bi)
+	}
+	sort.Slice(actives, func(i, j int) bool { return actives[i].block.ID < actives[j].block.ID })
+	for _, bi := range actives {
+		am := s.active[bi]
 		if am.flow != nil {
 			am.flow.Cancel()
 		}
@@ -353,6 +386,19 @@ func (c *Coordinator) RestartSlaveProcess(id cluster.NodeID) {
 	}
 	c.fs.DropAllMem(id)
 	s.estimator.reset()
+}
+
+// ScavengeAll runs the scavenging pass on every slave immediately,
+// regardless of the memory-pressure threshold that normally gates it.
+// After all jobs have finished and evicted, a ScavengeAll leaves no
+// block resident: anything still buffered is either unreferenced (and
+// released here) or orphaned by a restart (and reclaimed here). The
+// fuzzing harness calls this at end-of-run so "no buffered bytes
+// remain" is checkable as a hard invariant.
+func (c *Coordinator) ScavengeAll() {
+	for _, s := range c.slaves {
+		s.scavenge()
+	}
 }
 
 // Shutdown stops all slave tickers and any binder background thread;

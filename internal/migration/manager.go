@@ -171,6 +171,7 @@ func (c Config) queueDepth(blockSize sim.Bytes, diskBW float64) int {
 type Stats struct {
 	Requested     int // blocks requested for migration
 	Migrated      int // migrations completed
+	Readopted     int // requests satisfied by a surviving in-memory replica
 	Dropped       int // pending/queued migrations cancelled (missed reads, evictions)
 	Evicted       int // in-memory blocks released
 	MissedReads   int // reads that arrived before the block reached memory

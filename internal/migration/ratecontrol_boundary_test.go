@@ -1,0 +1,84 @@
+package migration
+
+import (
+	"testing"
+	"time"
+
+	"dyrs/internal/sim"
+)
+
+// AIMD boundary tests: the controller must clamp exactly at its floor
+// and ceiling and, once clamped, stop churning (no adjustment events
+// while the input condition persists).
+
+func TestRateControllerClampsAtFloor(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.IOWeight = 1.0
+	r := newRig(t, 44, 2, NewDYRSBinder(), nil, cfg)
+	defer r.c.Shutdown()
+	rc := NewRateController(r.c, time.Second)
+	defer rc.Stop()
+
+	r.mkFile(t, "stream", 200)
+	r.c.Migrate(1, []string{"stream"}, false)
+	r.cl.Node(0).StartInterference(2, 1)
+	r.cl.Node(1).StartInterference(2, 1)
+
+	// Persistent contention decays the weight to exactly the floor.
+	r.eng.RunUntil(sim.Time(20 * time.Second))
+	if w := rc.Weight(); w != rc.MinWeight {
+		t.Fatalf("weight = %v under persistent contention, want the floor %v", w, rc.MinWeight)
+	}
+	// At the floor, continued contention causes no further adjustments:
+	// decay would go below MinWeight, the clamp makes it a no-op.
+	before := rc.Adjustments
+	r.eng.RunUntil(sim.Time(40 * time.Second))
+	if w := rc.Weight(); w != rc.MinWeight {
+		t.Fatalf("weight left the floor: %v", w)
+	}
+	if rc.Adjustments != before {
+		t.Errorf("%d spurious adjustments while pinned at the floor", rc.Adjustments-before)
+	}
+}
+
+func TestRateControllerCeilingIsNoOp(t *testing.T) {
+	// Starting at MaxWeight with idle disks, recovery has nowhere to go:
+	// the controller must not oscillate or count adjustments.
+	cfg := DefaultConfig()
+	cfg.IOWeight = 1.0
+	r := newRig(t, 45, 2, NewDYRSBinder(), nil, cfg)
+	defer r.c.Shutdown()
+	rc := NewRateController(r.c, time.Second)
+	defer rc.Stop()
+
+	r.mkFile(t, "stream", 200)
+	r.c.Migrate(1, []string{"stream"}, false)
+	r.eng.RunUntil(sim.Time(20 * time.Second))
+	if w := rc.Weight(); w != rc.MaxWeight {
+		t.Fatalf("weight = %v with idle disks, want to stay at the ceiling %v", w, rc.MaxWeight)
+	}
+	if rc.Adjustments != 0 {
+		t.Errorf("%d adjustments while already at the ceiling", rc.Adjustments)
+	}
+}
+
+func TestRateControllerRecoveryClampsAtCeiling(t *testing.T) {
+	// From just below the ceiling, one additive step overshoots; the
+	// clamp must land exactly on MaxWeight, then go quiet.
+	cfg := DefaultConfig()
+	cfg.IOWeight = 0.95
+	r := newRig(t, 46, 2, NewDYRSBinder(), nil, cfg)
+	defer r.c.Shutdown()
+	rc := NewRateController(r.c, time.Second)
+	defer rc.Stop()
+
+	r.mkFile(t, "stream", 200)
+	r.c.Migrate(1, []string{"stream"}, false)
+	r.eng.RunUntil(sim.Time(20 * time.Second))
+	if w := rc.Weight(); w != rc.MaxWeight {
+		t.Fatalf("weight = %v, want clamped exactly to %v", w, rc.MaxWeight)
+	}
+	if rc.Adjustments != 1 {
+		t.Errorf("Adjustments = %d, want exactly 1 (the clamped step)", rc.Adjustments)
+	}
+}

@@ -270,10 +270,19 @@ func (s *Slave) abortActive(bi *blockInfo) {
 
 // scavenge clears reference-list entries for jobs the cluster scheduler
 // no longer reports as active, then evicts blocks whose lists emptied —
-// the memory-leak guard of §III-C3.
+// the memory-leak guard of §III-C3. It walks the node's actual resident
+// buffers (in block-ID order, for determinism) rather than the master's
+// reference lists, so replicas the master no longer tracks — orphaned by
+// a fail-over that wiped the reference lists (§III-C1) — are reclaimed
+// instead of occupying the buffer forever.
 func (s *Slave) scavenge() {
-	for _, bi := range s.c.info {
-		if bi.state != stateInMemory || bi.slave != s.node.ID {
+	for _, id := range s.c.fs.DataNode(s.node.ID).MemBlockIDs() {
+		bi := s.c.info[id]
+		if bi == nil || bi.state != stateInMemory || bi.slave != s.node.ID {
+			// Resident but unreferenced by the master: an orphan left by a
+			// restart. Drop the buffer directly.
+			s.c.fs.DropMem(id, s.node.ID)
+			s.c.stats.Evicted++
 			continue
 		}
 		for job := range bi.refs {

@@ -1,0 +1,144 @@
+package sim
+
+import (
+	"sort"
+	"testing"
+	"time"
+)
+
+// FuzzEventQueue drives the engine's lazy-cancel pooled event queue
+// against a flat reference model. The byte stream is interpreted as a
+// small op program: schedule, cancel, advance the clock, and schedule
+// events whose callbacks themselves schedule or cancel (which is what
+// exercises handle pooling — a fired event's struct is recycled, so the
+// model must never cancel through a stale handle).
+//
+// Invariants checked:
+//   - events fire exactly in (time, scheduling-order) order;
+//   - cancelled events never fire, fired events are never re-fired;
+//   - Pending() always equals the model's live count;
+//   - the queue fully drains (compaction and tombstone skimming never
+//     lose or duplicate a live event).
+func FuzzEventQueue(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 10, 0, 10, 5, 8, 3, 0, 6, 31})
+	// Mass-schedule then mass-cancel: crosses the compactMin threshold.
+	bulk := make([]byte, 0, 4*compactMin)
+	for i := 0; i < compactMin; i++ {
+		bulk = append(bulk, 0, byte(i))
+	}
+	for i := 0; i < compactMin; i++ {
+		bulk = append(bulk, 3, byte(i))
+	}
+	f.Add(bulk)
+	f.Add([]byte{7, 3, 7, 0, 5, 40, 7, 9, 5, 63, 3, 1, 5, 63})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		eng := NewEngine(1)
+		const unit = Duration(time.Millisecond)
+
+		type modelEvent struct {
+			at        Time
+			cancelled bool
+			fired     bool
+		}
+		var (
+			model   []*modelEvent
+			handles []*Event // index-aligned with model; nil once fired
+			gotIDs  []int
+		)
+		live := func() int {
+			n := 0
+			for _, m := range model {
+				if !m.fired && !m.cancelled {
+					n++
+				}
+			}
+			return n
+		}
+		var schedule func(at Time, nestDelta Duration)
+		schedule = func(at Time, nestDelta Duration) {
+			id := len(model)
+			m := &modelEvent{at: at}
+			model = append(model, m)
+			handles = append(handles, nil)
+			ev := eng.At(at, func() {
+				// The handle dies the moment the event fires: the engine
+				// recycles the struct for a later schedule.
+				handles[id] = nil
+				m.fired = true
+				gotIDs = append(gotIDs, id)
+				if nestDelta >= 0 {
+					// Nested schedule from inside a callback — lands on a
+					// pooled (recycled) Event struct once the free list is
+					// warm.
+					schedule(eng.Now().Add(nestDelta), -1)
+				}
+			})
+			handles[id] = ev
+		}
+		cancel := func(idx int) {
+			if len(model) == 0 {
+				return
+			}
+			idx %= len(model)
+			m := model[idx]
+			if m.fired || m.cancelled {
+				// A stale handle must not be passed to Cancel: the struct
+				// may already belong to a different scheduled event.
+				return
+			}
+			eng.Cancel(handles[idx])
+			m.cancelled = true
+			handles[idx] = nil
+		}
+
+		for i := 0; i+1 < len(data); i += 2 {
+			arg := int(data[i+1])
+			switch data[i] % 8 {
+			case 0, 1, 2: // schedule at now+delta
+				schedule(eng.Now().Add(Duration(arg%64)*unit), -1)
+			case 3, 4: // cancel by index
+				cancel(arg)
+			case 5, 6: // advance the clock
+				eng.RunFor(Duration(arg%32) * unit)
+			case 7: // schedule an event that schedules another on fire
+				schedule(eng.Now().Add(Duration(arg%64)*unit), Duration(arg%16)*unit)
+			}
+			if got, want := eng.Pending(), live(); got != want {
+				t.Fatalf("op %d: Pending() = %d, model live = %d", i/2, got, want)
+			}
+		}
+
+		// Drain everything (nested schedules keep extending the queue, but
+		// each nesting is one level deep so the horizon is finite).
+		eng.RunUntil(Time(1 << 40))
+		if eng.Pending() != 0 {
+			t.Fatalf("queue not drained: %d pending", eng.Pending())
+		}
+
+		// Expected firing order: live events by (time, scheduling order).
+		var wantIDs []int
+		for id, m := range model {
+			if !m.cancelled {
+				wantIDs = append(wantIDs, id)
+			}
+		}
+		sort.SliceStable(wantIDs, func(a, b int) bool {
+			return model[wantIDs[a]].at < model[wantIDs[b]].at
+		})
+		if len(gotIDs) != len(wantIDs) {
+			t.Fatalf("fired %d events, want %d", len(gotIDs), len(wantIDs))
+		}
+		for i := range wantIDs {
+			if gotIDs[i] != wantIDs[i] {
+				t.Fatalf("firing order diverges at %d: got %v, want %v", i, gotIDs, wantIDs)
+			}
+		}
+		for id, m := range model {
+			if m.cancelled && m.fired {
+				t.Fatalf("event %d both cancelled and fired", id)
+			}
+		}
+	})
+}

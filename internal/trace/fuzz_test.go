@@ -1,0 +1,104 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+
+	"dyrs/internal/sim"
+)
+
+// interpret replays a byte program against a fresh engine+tracer:
+// begin/end/annotate spans, child spans, instants, counters and clock
+// advances, all derived deterministically from the input bytes.
+func interpret(data []byte) *Tracer {
+	eng := sim.NewEngine(7)
+	tr := New(eng)
+	cats := []string{"migration", "read", "task", "flow"}
+	names := []string{"migrate", "transfer", "read", "map", "tick"}
+	keys := []string{"outcome", "block", "size", "reason"}
+	vals := []string{"pinned", "dropped", "7", "x\"y z", ""}
+
+	var open []SpanRef
+	for i := 0; i+2 < len(data); i += 3 {
+		a, b := int(data[i+1]), int(data[i+2])
+		attr := Str(keys[a%len(keys)], vals[b%len(vals)])
+		switch data[i] % 7 {
+		case 0:
+			open = append(open, tr.Begin(cats[a%len(cats)], names[b%len(names)], a%5-1, attr))
+		case 1:
+			if n := len(open); n > 0 {
+				open[a%n].End(attr)
+				open = append(open[:a%n], open[a%n+1:]...)
+			}
+		case 2:
+			if n := len(open); n > 0 {
+				open[a%n].Annotate(attr, Int("extra", int64(b)))
+			}
+		case 3:
+			if n := len(open); n > 0 {
+				open = append(open, open[a%n].Child(cats[b%len(cats)], names[a%len(names)], b%5-1))
+			}
+		case 4:
+			tr.Instant(cats[a%len(cats)], names[b%len(names)], a%5-1, attr)
+		case 5:
+			tr.Add("counter."+keys[a%len(keys)], int64(b-128))
+		case 6:
+			eng.Schedule(sim.Duration(a)*sim.Duration(time.Millisecond), func() {})
+			eng.RunFor(sim.Duration(a) * sim.Duration(time.Millisecond))
+		}
+	}
+	return tr
+}
+
+// FuzzCanonicalJSON checks the canonical dyrs-trace/v1 export over
+// arbitrary span/instant/counter histories:
+//
+//  1. the document is valid JSON;
+//  2. the export is deterministic: replaying the identical history
+//     byte-for-byte reproduces the document (the property the fuzzing
+//     harness's determinism oracle hashes);
+//  3. the canonical form is a fixpoint: decoding into the document
+//     model and re-encoding with the same encoder settings yields the
+//     identical bytes — no map-ordering or formatting drift.
+func FuzzCanonicalJSON(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 1, 2, 1, 0, 0, 4, 3, 3, 5, 9, 200})
+	f.Add([]byte{0, 0, 0, 3, 1, 1, 6, 50, 0, 1, 0, 0, 2, 2, 2, 5, 1, 1})
+	f.Add([]byte{0, 4, 4, 6, 255, 255, 1, 0, 3, 0, 2, 4, 4, 9, 9})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var out1, out2 bytes.Buffer
+		if err := interpret(data).WriteJSON(&out1); err != nil {
+			t.Fatalf("WriteJSON: %v", err)
+		}
+		if !json.Valid(out1.Bytes()) {
+			t.Fatalf("invalid JSON:\n%s", out1.String())
+		}
+		if err := interpret(data).WriteJSON(&out2); err != nil {
+			t.Fatalf("WriteJSON (replay): %v", err)
+		}
+		if !bytes.Equal(out1.Bytes(), out2.Bytes()) {
+			t.Fatal("identical histories produced different documents")
+		}
+
+		var doc traceDoc
+		if err := json.Unmarshal(out1.Bytes(), &doc); err != nil {
+			t.Fatalf("document does not round-trip through traceDoc: %v", err)
+		}
+		if doc.Schema != Schema {
+			t.Fatalf("schema %q, want %q", doc.Schema, Schema)
+		}
+		var re bytes.Buffer
+		enc := json.NewEncoder(&re)
+		enc.SetIndent("", " ")
+		if err := enc.Encode(doc); err != nil {
+			t.Fatalf("re-encode: %v", err)
+		}
+		if !bytes.Equal(out1.Bytes(), re.Bytes()) {
+			t.Fatalf("canonical form is not a fixpoint:\n--- export ---\n%s\n--- re-encode ---\n%s",
+				out1.String(), re.String())
+		}
+	})
+}
