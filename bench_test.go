@@ -709,3 +709,38 @@ func BenchmarkExtensionFairScheduler(b *testing.B) {
 		}
 	}
 }
+
+// --- Datacenter-scale macro-benchmarks ---
+
+// benchScale runs one datacenter-scale preset per iteration and reports
+// simulated events per wall-clock second — the engine-level throughput
+// the scale family is gated on — alongside the usual ns/op and allocs.
+// Run with -benchtime 1x: a single iteration is a complete days-long
+// virtual-time run, so op counts beyond 1 only repeat identical work.
+func benchScale(b *testing.B, opts experiments.ScaleOptions) {
+	b.ReportAllocs()
+	var events uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		row, err := experiments.RunScale(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		events += row.EventsFired
+	}
+	b.StopTimer()
+	if secs := b.Elapsed().Seconds(); secs > 0 {
+		b.ReportMetric(float64(events)/secs, "events/sec")
+	}
+}
+
+func BenchmarkScale100(b *testing.B) { benchScale(b, experiments.Scale100Options(benchSeed)) }
+
+func BenchmarkScale1k(b *testing.B) { benchScale(b, experiments.Scale1kOptions(benchSeed)) }
+
+func BenchmarkScale10k(b *testing.B) {
+	if testing.Short() {
+		b.Skip("scale10k runs ~10^8 events per iteration; skipped under -short")
+	}
+	benchScale(b, experiments.Scale10kOptions(benchSeed))
+}

@@ -53,6 +53,7 @@ func run() int {
 	bench := flag.Bool("bench", false, "time every experiment and write a canonical timing document to -benchout")
 	benchOut := flag.String("benchout", "BENCH.json", "output path for the -bench timing document")
 	benchReps := flag.Int("benchreps", 3, "repetitions per experiment for -bench")
+	benchMacro := flag.Bool("macro", true, "with -bench, also run the datacenter-scale macro presets (scale100, scale1k)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	quiet := flag.Bool("q", false, "suppress per-experiment progress on stderr")
@@ -132,7 +133,7 @@ func run() int {
 		if *only != "" {
 			fmt.Fprintln(os.Stderr, "dyrs-bench: -bench always times every experiment; ignoring -only")
 		}
-		rep, err := experiments.RunBench(*seed, *benchReps, *jobs, progress)
+		rep, err := experiments.RunBench(*seed, *benchReps, *jobs, *benchMacro, progress)
 		if err != nil {
 			return fail(err)
 		}
@@ -240,6 +241,10 @@ func printBench(rep *experiments.BenchReport, path string) {
 	for _, row := range rep.Rows {
 		fmt.Printf("  %-12s min %7.3fs  mean %7.3fs  max %7.3fs\n",
 			row.Name, row.MinSeconds, row.MeanSeconds, row.MaxSeconds)
+	}
+	for _, m := range rep.Macro {
+		fmt.Printf("  %-12s %d nodes, %d blocks: %.1fs, %.2fM events/sec, %.0f MiB sys\n",
+			m.Scenario, m.Nodes, m.Blocks, m.Seconds, m.EventsPerSec/1e6, m.PeakSysMiB)
 	}
 	fmt.Printf("total %.2fs wall-clock; wrote %s\n", rep.TotalSeconds, path)
 }

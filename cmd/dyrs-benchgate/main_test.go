@@ -1,0 +1,141 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleBench = `goos: linux
+goarch: amd64
+pkg: dyrs
+cpu: Example CPU @ 2.10GHz
+BenchmarkSimEngineEvents-8   	  200000	      5000 ns/op	       0 B/op	       0 allocs/op
+BenchmarkSimEngineEvents-8   	  200000	      5200 ns/op	       0 B/op	       0 allocs/op
+BenchmarkSimEngineEvents-8   	  200000	      4900 ns/op	       0 B/op	       0 allocs/op
+BenchmarkScale1k-8           	       1	9000000000 ns/op	2260176 events/sec	 7.6e+08 B/op	12000000 allocs/op
+BenchmarkScale1k-8           	       1	9100000000 ns/op	2235000 events/sec	 7.6e+08 B/op	12000000 allocs/op
+PASS
+ok  	dyrs	30.1s
+`
+
+func TestParseBenchStripsCPUSuffixAndCollectsSamples(t *testing.T) {
+	m, err := parseBench(strings.NewReader(sampleBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(m["BenchmarkSimEngineEvents"]); got != 3 {
+		t.Errorf("engine samples = %d, want 3", got)
+	}
+	if got := len(m["BenchmarkScale1k"]); got != 2 {
+		t.Errorf("scale1k samples = %d, want 2", got)
+	}
+	if _, ok := m["BenchmarkSimEngineEvents-8"]; ok {
+		t.Error("GOMAXPROCS suffix not stripped")
+	}
+}
+
+func TestMedian(t *testing.T) {
+	if got := median([]float64{3, 1, 2}); got != 2 {
+		t.Errorf("odd median = %g, want 2", got)
+	}
+	if got := median([]float64{4, 1, 2, 3}); got != 2.5 {
+		t.Errorf("even median = %g, want 2.5", got)
+	}
+}
+
+func testBaseline() *Baseline {
+	return &Baseline{
+		Schema: baselineSchema,
+		Entries: []BaselineEntry{
+			{Name: "BenchmarkScale1k", NsPerOp: 9e9},
+			{Name: "BenchmarkSimEngineEvents", NsPerOp: 5000},
+		},
+	}
+}
+
+func TestGatePassesWithinThreshold(t *testing.T) {
+	head := map[string]float64{
+		"BenchmarkScale1k":         9.9e9, // +10%
+		"BenchmarkSimEngineEvents": 4800,  // faster
+	}
+	rep := gate(testBaseline(), head, 0.15)
+	if len(rep.Failures) != 0 {
+		t.Errorf("gate failed within threshold: %v", rep.Failures)
+	}
+}
+
+func TestGateFailsOnRegression(t *testing.T) {
+	head := map[string]float64{
+		"BenchmarkScale1k":         2 * 9e9, // injected 2x slowdown
+		"BenchmarkSimEngineEvents": 5000,
+	}
+	rep := gate(testBaseline(), head, 0.15)
+	if len(rep.Failures) != 1 || rep.Failures[0] != "BenchmarkScale1k" {
+		t.Errorf("failures = %v, want exactly BenchmarkScale1k", rep.Failures)
+	}
+}
+
+func TestGateFailsOnMissingBenchmark(t *testing.T) {
+	head := map[string]float64{"BenchmarkScale1k": 9e9}
+	rep := gate(testBaseline(), head, 0.15)
+	if len(rep.Failures) != 1 || rep.Failures[0] != "BenchmarkSimEngineEvents" {
+		t.Errorf("failures = %v, want the deleted benchmark", rep.Failures)
+	}
+}
+
+func TestGateReportsNewBenchmarkWithoutFailing(t *testing.T) {
+	head := map[string]float64{
+		"BenchmarkScale1k":         9e9,
+		"BenchmarkSimEngineEvents": 5000,
+		"BenchmarkBrandNew":        123,
+	}
+	rep := gate(testBaseline(), head, 0.15)
+	if len(rep.Failures) != 0 {
+		t.Errorf("new benchmark failed the gate: %v", rep.Failures)
+	}
+	if !strings.Contains(rep.String(), "BenchmarkBrandNew") {
+		t.Error("new benchmark not mentioned in the report")
+	}
+}
+
+// TestEndToEndWriteGateInject drives the command as CI does: write a
+// baseline from a head file, gate the same file (pass), then gate with
+// an injected 2x slowdown (must fail) — proving the gate trips.
+func TestEndToEndWriteGateInject(t *testing.T) {
+	dir := t.TempDir()
+	headPath := filepath.Join(dir, "head.txt")
+	basePath := filepath.Join(dir, "base.json")
+	if err := os.WriteFile(headPath, []byte(sampleBench), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-write", "-baseline", basePath, headPath}, &out, &errOut); code != 0 {
+		t.Fatalf("-write exited %d: %s", code, errOut.String())
+	}
+	if code := run([]string{"-baseline", basePath, headPath}, &out, &errOut); code != 0 {
+		t.Fatalf("same-numbers gate exited %d: %s", code, errOut.String())
+	}
+	out.Reset()
+	errOut.Reset()
+	if code := run([]string{"-baseline", basePath, "-inject", "2.0", headPath}, &out, &errOut); code != 1 {
+		t.Fatalf("2x-slowdown gate exited %d, want 1\n%s%s", code, out.String(), errOut.String())
+	}
+	if !strings.Contains(out.String(), "FAIL") {
+		t.Error("failing gate report does not mark FAIL rows")
+	}
+}
+
+func TestLoadBaselineRejectsBadSchema(t *testing.T) {
+	dir := t.TempDir()
+	p := filepath.Join(dir, "base.json")
+	if err := os.WriteFile(p, []byte(`{"schema":"other/v9","entries":[{"name":"x","ns_per_op":1}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadBaseline(p); err == nil {
+		t.Error("wrong schema accepted")
+	}
+}

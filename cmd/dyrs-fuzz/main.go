@@ -7,6 +7,7 @@
 // Examples:
 //
 //	dyrs-fuzz -seeds 200                 # sweep seeds 1..200 in parallel
+//	dyrs-fuzz -seeds 20 -large           # datacenter-shaped topologies (64-256 nodes)
 //	dyrs-fuzz -seed 17                   # check one seed, verbosely
 //	dyrs-fuzz -seed 17 -repro 'faults=0;jobs=1'   # replay a shrunk repro
 //
@@ -42,6 +43,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	start := fs.Int64("start", 1, "first seed of the sweep")
 	jobs := fs.Int("jobs", 0, "parallel scenario checks (<=0: GOMAXPROCS)")
 	repro := fs.String("repro", "", "keep-mask from a shrunk repro, e.g. 'faults=0,2;jobs=1' (requires -seed)")
+	large := fs.Bool("large", false, "draw datacenter-shaped scenarios (64-256 nodes, multi-rack)")
 	shrink := fs.Bool("shrink", true, "shrink failing scenarios to a minimal repro")
 	verbose := fs.Bool("v", false, "print every scenario as it is checked")
 	if err := fs.Parse(args); err != nil {
@@ -52,7 +54,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return fmt.Errorf("-repro requires -seed")
 	}
 	if *seed != 0 {
-		return checkOne(stdout, *seed, *repro, *shrink)
+		return checkOne(stdout, *seed, *large, *repro, *shrink)
 	}
 
 	type outcome struct {
@@ -65,7 +67,11 @@ func run(args []string, stdout, stderr io.Writer) error {
 		work[i] = runner.Job{
 			Name: fmt.Sprintf("seed-%d", s),
 			Run: func() (any, error) {
-				return outcome{seed: s, failures: harness.CheckScenario(harness.Generate(s))}, nil
+				sc := harness.Generate(s)
+				if *large {
+					sc = harness.GenerateLarge(s)
+				}
+				return outcome{seed: s, failures: harness.CheckScenario(sc)}, nil
 			},
 		}
 	}
@@ -91,7 +97,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 			continue
 		}
 		failed++
-		reportFailure(stdout, oc.seed, oc.failures, *shrink)
+		reportFailure(stdout, oc.seed, *large, oc.failures, *shrink)
 	}
 	if failed > 0 {
 		return fmt.Errorf("%d of %d seeds failed", failed, *seeds)
@@ -103,11 +109,12 @@ func run(args []string, stdout, stderr io.Writer) error {
 
 // checkOne replays a single seed (optionally under a repro keep-mask)
 // and reports in detail.
-func checkOne(stdout io.Writer, seed int64, mask string, shrink bool) error {
+func checkOne(stdout io.Writer, seed int64, large bool, mask string, shrink bool) error {
 	rep, err := harness.ParseRepro(seed, mask)
 	if err != nil {
 		return err
 	}
+	rep.Large = large
 	sc := rep.Scenario()
 	fmt.Fprintf(stdout, "scenario: %s\n", sc)
 	for i, j := range sc.Jobs {
@@ -126,13 +133,13 @@ func checkOne(stdout io.Writer, seed int64, mask string, shrink bool) error {
 		return nil
 	}
 	// A repro replay is already reduced; only shrink the full scenario.
-	reportFailure(stdout, seed, failures, shrink && mask == "")
+	reportFailure(stdout, seed, large, failures, shrink && mask == "")
 	return fmt.Errorf("seed %d failed %d oracle check(s)", seed, len(failures))
 }
 
 // reportFailure prints a seed's oracle violations and, when asked, the
 // shrunk reproduction command.
-func reportFailure(stdout io.Writer, seed int64, failures []harness.Failure, shrink bool) {
+func reportFailure(stdout io.Writer, seed int64, large bool, failures []harness.Failure, shrink bool) {
 	fmt.Fprintf(stdout, "FAIL seed %d (%d violations):\n", seed, len(failures))
 	for _, f := range failures {
 		fmt.Fprintf(stdout, "  %s\n", f)
@@ -141,6 +148,6 @@ func reportFailure(stdout io.Writer, seed int64, failures []harness.Failure, shr
 		return
 	}
 	oracle := harness.FailedOracles(failures)[0]
-	rep := harness.Shrink(seed, oracle)
+	rep := harness.Shrink(seed, large, oracle)
 	fmt.Fprintf(stdout, "  shrunk to %d event(s); repro: %s\n", rep.Events(), rep.Command())
 }

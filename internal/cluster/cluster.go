@@ -80,9 +80,12 @@ func (n *Node) Alive() bool { return n.alive }
 
 // Cluster owns the engine and the node set.
 type Cluster struct {
-	eng   *sim.Engine
-	nodes []*Node
-	topo  *Topology
+	eng      *sim.Engine
+	nodes    []*Node
+	topo     *Topology
+	flatRack []NodeID // lazily built member list for the flat (1-rack) case
+	// membershipEpoch counts kill/revive transitions; see MembershipEpoch.
+	membershipEpoch uint64
 	// RPCLatency is the one-way latency of control-plane messages
 	// (heartbeats, migration commands). Data transfers are modeled on
 	// resources; control traffic only pays this latency.
@@ -154,12 +157,20 @@ func (c *Cluster) AliveNodes() []NodeID {
 // code that checks liveness; in-flight flows are cancelled.
 func (c *Cluster) KillNode(id NodeID) {
 	c.nodes[int(id)].alive = false
+	c.membershipEpoch++
 }
 
 // ReviveNode brings a server back up.
 func (c *Cluster) ReviveNode(id NodeID) {
 	c.nodes[int(id)].alive = true
+	c.membershipEpoch++
 }
+
+// MembershipEpoch increments whenever a node is killed or revived.
+// Components that cache derived views of cluster liveness (e.g. the
+// DYRS binder's per-node finish table) compare epochs to skip rebuilds
+// when nothing changed.
+func (c *Cluster) MembershipEpoch() uint64 { return c.membershipEpoch }
 
 // RPC schedules fn after the control-plane latency, simulating a
 // master<->slave message.

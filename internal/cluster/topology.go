@@ -11,9 +11,10 @@ import (
 // ConfigureRacks splits it into racks connected by a shared (typically
 // oversubscribed) core, which cross-rack transfers must traverse.
 type Topology struct {
-	rackOf []int
-	racks  int
-	core   *sim.Resource
+	rackOf    []int
+	rackNodes [][]NodeID // cached member lists, indexed by rack
+	racks     int
+	core      *sim.Resource
 }
 
 // ConfigureRacks partitions the cluster's nodes round-robin into the
@@ -23,9 +24,11 @@ func (c *Cluster) ConfigureRacks(racks int, coreBandwidth float64) {
 	if racks <= 0 {
 		panic("cluster: need at least one rack")
 	}
-	t := &Topology{racks: racks, rackOf: make([]int, len(c.nodes))}
+	t := &Topology{racks: racks, rackOf: make([]int, len(c.nodes)), rackNodes: make([][]NodeID, racks)}
 	for i := range c.nodes {
-		t.rackOf[i] = i % racks
+		r := i % racks
+		t.rackOf[i] = r
+		t.rackNodes[r] = append(t.rackNodes[r], NodeID(i))
 	}
 	if coreBandwidth > 0 {
 		t.core = sim.NewResource(c.eng, "core-switch", coreBandwidth, nil)
@@ -63,14 +66,33 @@ func (c *Cluster) Core() *sim.Resource {
 	return c.topo.core
 }
 
-// NodesInRack returns the ids of nodes in the given rack.
-func (c *Cluster) NodesInRack(rack int) []NodeID {
-	var out []NodeID
-	for _, n := range c.nodes {
-		if c.Rack(n.ID) == rack {
-			out = append(out, n.ID)
+// RackNodes returns the cached member list of the given rack. For a
+// flat cluster, rack 0 holds every node (the list is built lazily and
+// cached). Callers must not mutate the returned slice.
+func (c *Cluster) RackNodes(rack int) []NodeID {
+	if c.topo == nil {
+		if rack != 0 {
+			return nil
 		}
+		if c.flatRack == nil {
+			c.flatRack = make([]NodeID, len(c.nodes))
+			for i := range c.nodes {
+				c.flatRack[i] = NodeID(i)
+			}
+		}
+		return c.flatRack
 	}
+	if rack < 0 || rack >= c.topo.racks {
+		return nil
+	}
+	return c.topo.rackNodes[rack]
+}
+
+// NodesInRack returns a copy of the ids of nodes in the given rack.
+func (c *Cluster) NodesInRack(rack int) []NodeID {
+	cached := c.RackNodes(rack)
+	out := make([]NodeID, len(cached))
+	copy(out, cached)
 	return out
 }
 

@@ -3,6 +3,13 @@
 // serve block reads from disk or from an in-memory buffer, 3-way replica
 // placement, and the read-redirection hook DYRS uses to steer reads to
 // in-memory replicas (paper §III, §IV).
+//
+// The NameNode catalog is stored as a struct-of-arrays block table (see
+// blocktable.go) with per-node replica postings, so the metadata for
+// millions of blocks fits in a few flat arrays instead of per-block heap
+// objects and maps. Public accessors that return *Block materialize a
+// view on demand; hot paths use the ID-based accessors (BlockSize,
+// LiveReplicas, FileBlockIDs) which do not allocate.
 package dfs
 
 import (
@@ -37,20 +44,30 @@ func (t Tier) String() string {
 	return "disk"
 }
 
+// maxBlockBytes bounds a single block so its size fits the table's
+// uint32 column. HDFS-era block sizes are 64-512 MB; 4 GiB-1 is far
+// above anything the model produces.
+const maxBlockBytes = sim.Bytes(1<<32 - 1)
+
 // Block is one fixed-size chunk of a file, replicated on several nodes.
+//
+// Block values are materialized views over the block table, built on
+// demand by Block/FileBlocks; mutating one does not change the catalog.
 type Block struct {
 	ID       BlockID
 	File     string
 	Index    int // position within the file
 	Size     sim.Bytes
 	Tier     Tier
-	Replicas []cluster.NodeID // replica locations, immutable after placement
+	Replicas []cluster.NodeID // replica locations at materialization time
 }
 
-// File is a named sequence of blocks.
+// File is a named sequence of blocks. Blocks are assigned consecutive
+// IDs at creation, so Blocks[i] == Blocks[0]+i always holds.
 type File struct {
 	Name   string
 	Size   sim.Bytes
+	Tier   Tier
 	Blocks []BlockID
 }
 
@@ -156,12 +173,18 @@ func (r ReadResult) Duration() sim.Duration { return r.Finished.Sub(r.Started) }
 
 // DataNode is the per-node storage server: it owns the node's disk for
 // block reads and tracks which blocks are resident in its memory buffer.
+// Residency itself lives in the block table's memNode/memPos columns;
+// the DataNode keeps the node's resident list (for O(1) membership the
+// table column is consulted) and the byte accounting.
 type DataNode struct {
 	fs   *FS
 	node *cluster.Node
 
-	memBlocks map[BlockID]sim.Bytes
-	memUsed   sim.Bytes
+	// resident lists the blocks buffered on this node, unordered;
+	// table.memPos[id] is the block's index here, so insert and remove
+	// are O(1) swap operations.
+	resident []BlockID
+	memUsed  sim.Bytes
 
 	// Counters for the evaluation (Fig. 8 counts reads per DataNode).
 	DiskReads     int
@@ -178,12 +201,24 @@ func (dn *DataNode) MemUsed() sim.Bytes { return dn.memUsed }
 
 // HasMem reports whether the block is resident in this node's buffer.
 func (dn *DataNode) HasMem(b BlockID) bool {
-	_, ok := dn.memBlocks[b]
-	return ok
+	return dn.fs.table.memNode[int(b)] == int32(dn.node.ID)
 }
 
 // MemBlockCount reports how many blocks are buffered.
-func (dn *DataNode) MemBlockCount() int { return len(dn.memBlocks) }
+func (dn *DataNode) MemBlockCount() int { return len(dn.resident) }
+
+// scalableClusterMin is the cluster size at which replica placement
+// switches from the permutation-based picker (byte-compatible with the
+// paper-scale experiments) to rejection sampling. Below this size a
+// rng.Perm per replica is cheap and keeps historical traces identical;
+// above it, Perm's O(n) per block dominates file creation.
+const scalableClusterMin = 64
+
+// placeSampleTries bounds rejection sampling before the picker falls
+// back to a deterministic scan. With ≤3 replicas excluded out of ≥64
+// nodes the miss probability per try is tiny; 32 tries makes the
+// fallback effectively unreachable without an adversarial accept fn.
+const placeSampleTries = 32
 
 // FS is the simulated distributed file system. The NameNode role (file
 // and block catalog, replica lookup, in-memory replica registry) is
@@ -195,13 +230,24 @@ type FS struct {
 	rng *rand.Rand
 	tr  *trace.Tracer // run tracer; nil (no-op) when untraced
 
-	files  map[string]*File
-	blocks []*Block
-	dns    []*DataNode
+	files    map[string]*File
+	fileList []*File // index space for the table's fileOf column
+	table    *blockTable
+	dns      []*DataNode
 
-	// mem is the NameNode-side registry of in-memory replicas, updated by
-	// the migration layer; reads consult it to redirect to memory.
-	mem map[BlockID]cluster.NodeID
+	// byNode is the replica postings index: byNode[n] lists the blocks
+	// with a disk replica on node n, in placement order. Per-rack views
+	// aggregate these lists through the cluster's rack tables.
+	byNode [][]BlockID
+
+	// memCount tracks the number of registered in-memory replicas
+	// (previously len() of the registry map).
+	memCount int
+
+	// decommissioned marks nodes excluded from placement; placeable
+	// counts those still eligible.
+	decommissioned []bool
+	placeable      int
 
 	readHooks []readHook
 
@@ -212,6 +258,9 @@ type FS struct {
 	failedOvers int
 
 	placeCursor int // rotates placement start for balance
+
+	placeBuf []cluster.NodeID // scratch for placeReplicas
+	repBuf   []cluster.NodeID // scratch for the read path's replica list
 }
 
 // New creates a file system over the cluster.
@@ -219,25 +268,28 @@ func New(cl *cluster.Cluster, cfg Config) *FS {
 	if cfg.BlockSize <= 0 || cfg.Replication <= 0 {
 		panic("dfs: invalid config")
 	}
+	if cfg.BlockSize > maxBlockBytes {
+		panic(fmt.Sprintf("dfs: block size %d exceeds table limit %d", cfg.BlockSize, int64(maxBlockBytes)))
+	}
 	if cfg.Replication > cl.Size() {
 		panic(fmt.Sprintf("dfs: replication %d exceeds cluster size %d", cfg.Replication, cl.Size()))
 	}
 	eng := cl.Engine()
 	fs := &FS{
-		eng:   eng,
-		cl:    cl,
-		cfg:   cfg,
-		rng:   rand.New(rand.NewSource(eng.Rand().Int63())),
-		tr:    trace.FromEngine(eng),
-		files: make(map[string]*File),
-		mem:   make(map[BlockID]cluster.NodeID),
+		eng:            eng,
+		cl:             cl,
+		cfg:            cfg,
+		rng:            rand.New(rand.NewSource(eng.Rand().Int63())),
+		tr:             trace.FromEngine(eng),
+		files:          make(map[string]*File),
+		table:          newBlockTable(cfg.Replication),
+		byNode:         make([][]BlockID, cl.Size()),
+		decommissioned: make([]bool, cl.Size()),
+		placeable:      cl.Size(),
+		placeBuf:       make([]cluster.NodeID, 0, cfg.Replication),
 	}
 	for _, n := range cl.Nodes() {
-		fs.dns = append(fs.dns, &DataNode{
-			fs:        fs,
-			node:      n,
-			memBlocks: make(map[BlockID]sim.Bytes),
-		})
+		fs.dns = append(fs.dns, &DataNode{fs: fs, node: n})
 	}
 	return fs
 }
@@ -275,58 +327,151 @@ func (fs *FS) CreateFileOnTier(name string, size sim.Bytes, tier Tier) (*File, e
 	if size <= 0 {
 		return nil, errors.New("dfs: file size must be positive")
 	}
-	f := &File{Name: name, Size: size}
+	f := &File{Name: name, Size: size, Tier: tier}
+	fi := int32(len(fs.fileList))
+	nBlocks := int((size + fs.cfg.BlockSize - 1) / fs.cfg.BlockSize)
+	fs.table.grow(nBlocks)
+	f.Blocks = make([]BlockID, 0, nBlocks)
 	remaining := size
-	idx := 0
 	for remaining > 0 {
 		bs := fs.cfg.BlockSize
 		if remaining < bs {
 			bs = remaining
 		}
-		b := &Block{
-			ID:       BlockID(len(fs.blocks)),
-			File:     name,
-			Index:    idx,
-			Size:     bs,
-			Tier:     tier,
-			Replicas: fs.placeReplicas(),
+		reps := fs.placeReplicas()
+		id := fs.table.add(bs, fi, reps)
+		for _, r := range reps {
+			fs.byNode[int(r)] = append(fs.byNode[int(r)], id)
 		}
-		fs.blocks = append(fs.blocks, b)
-		f.Blocks = append(f.Blocks, b.ID)
+		f.Blocks = append(f.Blocks, id)
 		remaining -= bs
-		idx++
 	}
 	fs.files[name] = f
+	fs.fileList = append(fs.fileList, f)
 	return f, nil
 }
 
-// placeReplicas chooses Replication distinct nodes. The first replica
-// rotates around the cluster (even spread, like writers spread across
-// nodes). On a flat cluster the rest are random; on a racked cluster
-// placement follows the HDFS default policy: the second replica goes to
-// a different rack than the first, the third to the second replica's
-// rack, and any further replicas land randomly.
+// placeReplicas chooses Replication distinct nodes, filling fs.placeBuf
+// (valid until the next call). The first replica rotates around the
+// cluster (even spread, like writers spread across nodes). On a flat
+// cluster the rest are random; on a racked cluster placement follows the
+// HDFS default policy: the second replica goes to a different rack than
+// the first, the third to the second replica's rack, and any further
+// replicas land randomly. Decommissioned nodes never receive replicas.
+//
+// Clusters below scalableClusterMin use the historical permutation
+// picker so existing experiment outputs stay byte-identical; larger
+// clusters use rejection sampling (O(replication) expected per block
+// instead of O(n)).
 func (fs *FS) placeReplicas() []cluster.NodeID {
 	n := fs.cl.Size()
-	first := cluster.NodeID(fs.placeCursor % n)
-	fs.placeCursor++
-	chosen := []cluster.NodeID{first}
-	taken := map[cluster.NodeID]bool{first: true}
+	chosen := fs.placeBuf[:0]
+
+	var first cluster.NodeID
+	for {
+		first = cluster.NodeID(fs.placeCursor % n)
+		fs.placeCursor++
+		if !fs.decommissioned[first] {
+			break
+		}
+	}
+	chosen = append(chosen, first)
+
+	has := func(id cluster.NodeID) bool {
+		for _, c := range chosen {
+			if c == id {
+				return true
+			}
+		}
+		return false
+	}
+	eligible := func(id cluster.NodeID) bool { return !has(id) && !fs.decommissioned[id] }
+	any := func(cluster.NodeID) bool { return true }
+
+	if n >= scalableClusterMin {
+		// pickSampled rejection-samples the whole cluster; pickFrom
+		// samples a candidate list (a rack). Both fall back to a
+		// deterministic scan from a random offset.
+		pickFrom := func(nodes []cluster.NodeID, accept func(cluster.NodeID) bool) bool {
+			m := len(nodes)
+			if m == 0 {
+				return false
+			}
+			for try := 0; try < placeSampleTries; try++ {
+				id := nodes[fs.rng.Intn(m)]
+				if eligible(id) && accept(id) {
+					chosen = append(chosen, id)
+					return true
+				}
+			}
+			start := fs.rng.Intn(m)
+			for i := 0; i < m; i++ {
+				id := nodes[(start+i)%m]
+				if eligible(id) && accept(id) {
+					chosen = append(chosen, id)
+					return true
+				}
+			}
+			return false
+		}
+		pickSampled := func(accept func(cluster.NodeID) bool) bool {
+			for try := 0; try < placeSampleTries; try++ {
+				id := cluster.NodeID(fs.rng.Intn(n))
+				if eligible(id) && accept(id) {
+					chosen = append(chosen, id)
+					return true
+				}
+			}
+			start := fs.rng.Intn(n)
+			for i := 0; i < n; i++ {
+				id := cluster.NodeID((start + i) % n)
+				if eligible(id) && accept(id) {
+					chosen = append(chosen, id)
+					return true
+				}
+			}
+			return false
+		}
+
+		if fs.cl.Racks() > 1 {
+			if len(chosen) < fs.cfg.Replication {
+				// Second replica: off the first replica's rack. With many
+				// racks almost every sample is acceptable.
+				if !pickSampled(func(id cluster.NodeID) bool { return !fs.cl.SameRack(id, first) }) {
+					pickSampled(any)
+				}
+			}
+			if len(chosen) < fs.cfg.Replication && len(chosen) >= 2 {
+				// Third replica: same rack as the second. Sampling the
+				// whole cluster would almost always miss a single rack, so
+				// draw from the rack's own node list.
+				second := chosen[1]
+				if !pickFrom(fs.cl.RackNodes(fs.cl.Rack(second)), any) {
+					pickSampled(any)
+				}
+			}
+		}
+		for len(chosen) < fs.cfg.Replication {
+			if !pickSampled(any) {
+				break
+			}
+		}
+		fs.placeBuf = chosen
+		return chosen
+	}
 
 	pick := func(accept func(cluster.NodeID) bool) bool {
 		perm := fs.rng.Perm(n)
 		for _, p := range perm {
 			id := cluster.NodeID(p)
-			if taken[id] || !accept(id) {
+			if !eligible(id) || !accept(id) {
 				continue
 			}
 			chosen = append(chosen, id)
-			taken[id] = true
 			return true
 		}
 		return false
 	}
-	any := func(cluster.NodeID) bool { return true }
 
 	if fs.cl.Racks() > 1 {
 		if len(chosen) < fs.cfg.Replication {
@@ -348,6 +493,7 @@ func (fs *FS) placeReplicas() []cluster.NodeID {
 			break
 		}
 	}
+	fs.placeBuf = chosen
 	return chosen
 }
 
@@ -362,7 +508,9 @@ func (fs *FS) File(name string) (*File, error) {
 
 // FileBlocks maps a list of file names to their blocks, in file order —
 // the operation the DYRS master performs when it receives a migration
-// request for a job's input files.
+// request for a job's input files. The returned blocks are materialized
+// views (one allocation each); scale-sensitive callers should use
+// FileBlockIDs with the ID-based accessors instead.
 func (fs *FS) FileBlocks(names []string) ([]*Block, error) {
 	var out []*Block
 	for _, name := range names {
@@ -371,40 +519,83 @@ func (fs *FS) FileBlocks(names []string) ([]*Block, error) {
 			return nil, fmt.Errorf("%w: %s", err, name)
 		}
 		for _, id := range f.Blocks {
-			out = append(out, fs.blocks[int(id)])
+			out = append(out, fs.Block(id))
 		}
 	}
 	return out, nil
 }
 
-// Block returns the block with the given id.
-func (fs *FS) Block(id BlockID) *Block { return fs.blocks[int(id)] }
+// FileBlockIDs maps a list of file names to their block IDs, in file
+// order, without materializing Block views.
+func (fs *FS) FileBlockIDs(names []string) ([]BlockID, error) {
+	total := 0
+	for _, name := range names {
+		f, err := fs.File(name)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %s", err, name)
+		}
+		total += len(f.Blocks)
+	}
+	out := make([]BlockID, 0, total)
+	for _, name := range names {
+		out = append(out, fs.files[name].Blocks...)
+	}
+	return out, nil
+}
+
+// Block materializes a view of the block with the given id.
+func (fs *FS) Block(id BlockID) *Block {
+	f := fs.fileList[fs.table.fileOf[int(id)]]
+	return &Block{
+		ID:       id,
+		File:     f.Name,
+		Index:    int(id - f.Blocks[0]),
+		Size:     fs.table.blockSize(id),
+		Tier:     f.Tier,
+		Replicas: fs.table.appendReplicas(id, nil),
+	}
+}
+
+// BlockSize reports the block's length without materializing a view.
+func (fs *FS) BlockSize(id BlockID) sim.Bytes { return fs.table.blockSize(id) }
+
+// blockTier reports the storage tier of the block's file.
+func (fs *FS) blockTier(id BlockID) Tier {
+	return fs.fileList[fs.table.fileOf[int(id)]].Tier
+}
 
 // NumBlocks reports the total number of blocks in the catalog.
-func (fs *FS) NumBlocks() int { return len(fs.blocks) }
+func (fs *FS) NumBlocks() int { return fs.table.len() }
 
 // Replicas returns the block's replica locations on nodes the NameNode
 // considers available. With heartbeat liveness enabled this view can be
 // stale: a freshly dead node is still offered until its heartbeats have
 // been missed (§III-C2).
 func (fs *FS) Replicas(id BlockID) []cluster.NodeID {
-	var out []cluster.NodeID
-	for _, r := range fs.blocks[int(id)].Replicas {
-		if fs.nodeAvailable(r) {
-			out = append(out, r)
+	return fs.LiveReplicas(id, nil)
+}
+
+// LiveReplicas appends the block's available replica locations to buf
+// and returns it; with a pre-sized buf this allocates nothing. Same
+// staleness semantics as Replicas.
+func (fs *FS) LiveReplicas(id BlockID, buf []cluster.NodeID) []cluster.NodeID {
+	base := int(id) * fs.table.stride
+	for i := 0; i < fs.table.stride; i++ {
+		if r := fs.table.replicas[base+i]; r >= 0 && fs.nodeAvailable(cluster.NodeID(r)) {
+			buf = append(buf, cluster.NodeID(r))
 		}
 	}
-	return out
+	return buf
 }
 
 // MemReplica reports the node holding an in-memory replica of the block,
 // if the NameNode considers that node available.
 func (fs *FS) MemReplica(id BlockID) (cluster.NodeID, bool) {
-	n, ok := fs.mem[id]
-	if !ok || !fs.nodeAvailable(n) {
+	n := fs.table.memNode[int(id)]
+	if n < 0 || !fs.nodeAvailable(cluster.NodeID(n)) {
 		return 0, false
 	}
-	return n, true
+	return cluster.NodeID(n), true
 }
 
 // RegisterMem records that node holds an in-memory replica of the block
@@ -417,31 +608,31 @@ func (fs *FS) MemReplica(id BlockID) (cluster.NodeID, bool) {
 // copy is released so the registry and the per-node buffers stay in
 // bijection (Fsck invariant 3 checks both directions).
 func (fs *FS) RegisterMem(id BlockID, node cluster.NodeID) {
-	dn := fs.dns[int(node)]
-	if _, ok := dn.memBlocks[id]; ok {
+	prev := fs.table.memNode[int(id)]
+	if prev == int32(node) {
 		return
 	}
-	if prev, ok := fs.mem[id]; ok && prev != node {
-		fs.DropMem(id, prev)
+	if prev >= 0 {
+		fs.DropMem(id, cluster.NodeID(prev))
 	}
-	size := fs.blocks[int(id)].Size
-	dn.memBlocks[id] = size
-	dn.memUsed += size
-	fs.mem[id] = node
+	dn := fs.dns[int(node)]
+	fs.table.memNode[int(id)] = int32(node)
+	fs.table.memPos[int(id)] = int32(len(dn.resident))
+	dn.resident = append(dn.resident, id)
+	dn.memUsed += fs.table.blockSize(id)
+	fs.memCount++
 }
 
 // DropMem removes the in-memory replica of a block from a node.
 func (fs *FS) DropMem(id BlockID, node cluster.NodeID) {
-	dn := fs.dns[int(node)]
-	size, ok := dn.memBlocks[id]
-	if !ok {
+	if fs.table.memNode[int(id)] != int32(node) {
 		return
 	}
-	delete(dn.memBlocks, id)
+	dn := fs.dns[int(node)]
+	size := fs.table.blockSize(id)
+	fs.detachResident(dn, id)
 	dn.memUsed -= size
-	if fs.mem[id] == node {
-		delete(fs.mem, id)
-	}
+	fs.memCount--
 	if fs.tr.Enabled() {
 		fs.tr.Inc("evictions")
 		fs.tr.Instant("migration", "evict", int(node),
@@ -449,22 +640,36 @@ func (fs *FS) DropMem(id BlockID, node cluster.NodeID) {
 	}
 }
 
+// detachResident unlinks the block from the node's resident list with a
+// swap-remove and clears its registry columns.
+func (fs *FS) detachResident(dn *DataNode, id BlockID) {
+	pos := fs.table.memPos[int(id)]
+	last := len(dn.resident) - 1
+	moved := dn.resident[last]
+	dn.resident[pos] = moved
+	fs.table.memPos[int(moved)] = pos
+	dn.resident = dn.resident[:last]
+	fs.table.memNode[int(id)] = -1
+	fs.table.memPos[int(id)] = -1
+}
+
 // DropAllMem clears every buffered block on a node — what happens when a
 // DYRS slave process dies and the OS reclaims its locked memory.
 func (fs *FS) DropAllMem(node cluster.NodeID) {
 	dn := fs.dns[int(node)]
-	for id := range dn.memBlocks {
-		if fs.mem[id] == node {
-			delete(fs.mem, id)
-		}
-	}
-	if fs.tr.Enabled() && len(dn.memBlocks) > 0 {
-		fs.tr.Add("evictions", int64(len(dn.memBlocks)))
+	n := len(dn.resident)
+	if fs.tr.Enabled() && n > 0 {
+		fs.tr.Add("evictions", int64(n))
 		fs.tr.Instant("migration", "evict-all", int(node),
-			trace.Int("blocks", int64(len(dn.memBlocks))),
+			trace.Int("blocks", int64(n)),
 			trace.Int("bytes", int64(dn.memUsed)))
 	}
-	dn.memBlocks = make(map[BlockID]sim.Bytes)
+	for _, id := range dn.resident {
+		fs.table.memNode[int(id)] = -1
+		fs.table.memPos[int(id)] = -1
+	}
+	fs.memCount -= n
+	dn.resident = dn.resident[:0]
 	if !canaryLeakBufferAccounting {
 		dn.memUsed = 0
 	}
@@ -474,24 +679,118 @@ func (fs *FS) DropAllMem(node cluster.NodeID) {
 // by block ID. The migration slave's scavenger walks this list; sorting
 // keeps reclamation order (and any trace it emits) deterministic.
 func (dn *DataNode) MemBlockIDs() []BlockID {
-	ids := make([]BlockID, 0, len(dn.memBlocks))
-	for id := range dn.memBlocks {
-		ids = append(ids, id)
-	}
+	ids := make([]BlockID, len(dn.resident))
+	copy(ids, dn.resident)
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	return ids
 }
 
 // MemReplicaCount reports the number of blocks with an in-memory replica.
-func (fs *FS) MemReplicaCount() int { return len(fs.mem) }
+func (fs *FS) MemReplicaCount() int { return fs.memCount }
 
-// TotalMemUsed reports buffered bytes across all nodes.
+// TotalMemUsed reports buffered bytes across all nodes. It sums the
+// per-node accounting (rather than a derived counter) so accounting
+// bugs in the per-node books remain observable (the dyrs_canary build
+// relies on this).
 func (fs *FS) TotalMemUsed() sim.Bytes {
 	var total sim.Bytes
 	for _, dn := range fs.dns {
 		total += dn.memUsed
 	}
 	return total
+}
+
+// NodeBlockCount reports the number of disk replicas homed on the node.
+func (fs *FS) NodeBlockCount(id cluster.NodeID) int { return len(fs.byNode[int(id)]) }
+
+// BlocksOnNode returns the blocks with a disk replica on the node,
+// sorted by block ID.
+func (fs *FS) BlocksOnNode(id cluster.NodeID) []BlockID {
+	out := make([]BlockID, len(fs.byNode[int(id)]))
+	copy(out, fs.byNode[int(id)])
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// RackBlockCount reports the number of disk replicas homed in the rack,
+// aggregated from the per-node postings.
+func (fs *FS) RackBlockCount(rack int) int {
+	n := 0
+	for _, id := range fs.cl.RackNodes(rack) {
+		n += len(fs.byNode[int(id)])
+	}
+	return n
+}
+
+// Decommissioned reports whether the node has been decommissioned.
+func (fs *FS) Decommissioned(id cluster.NodeID) bool { return fs.decommissioned[int(id)] }
+
+// DecommissionNode removes a node from placement and re-homes every
+// disk replica it held onto other nodes — the NameNode metadata side of
+// an HDFS decommission (the data copy itself is not modeled; callers
+// that care about the traffic can account for it with the returned
+// replica count). Buffered in-memory replicas on the node are dropped.
+// It fails when the remaining placeable nodes could not hold Replication
+// copies of a block.
+func (fs *FS) DecommissionNode(node cluster.NodeID) (int, error) {
+	if fs.decommissioned[int(node)] {
+		return 0, nil
+	}
+	if fs.placeable-1 < fs.cfg.Replication {
+		return 0, fmt.Errorf("dfs: decommissioning node %v would leave %d placeable nodes for replication %d",
+			node, fs.placeable-1, fs.cfg.Replication)
+	}
+	fs.decommissioned[int(node)] = true
+	fs.placeable--
+	fs.DropAllMem(node)
+
+	posting := fs.byNode[int(node)]
+	fs.byNode[int(node)] = nil
+	kept := posting[:0]
+	moved := 0
+	for _, id := range posting {
+		to, ok := fs.pickReplacement(id, node)
+		if !ok {
+			// No eligible replacement (every placeable node already holds
+			// a replica); the replica stays where it is.
+			kept = append(kept, id)
+			continue
+		}
+		fs.table.rehome(id, node, to)
+		fs.byNode[int(to)] = append(fs.byNode[int(to)], id)
+		moved++
+	}
+	if len(kept) > 0 {
+		fs.byNode[int(node)] = kept
+	}
+	if fs.tr.Enabled() {
+		fs.tr.Instant("dfs", "decommission", int(node),
+			trace.Int("moved", int64(moved)), trace.Int("kept", int64(len(kept))))
+	}
+	return moved, nil
+}
+
+// pickReplacement chooses a placeable node, not already holding a
+// replica of the block, to receive the replica leaving `from`.
+func (fs *FS) pickReplacement(id BlockID, from cluster.NodeID) (cluster.NodeID, bool) {
+	n := fs.cl.Size()
+	ok := func(c cluster.NodeID) bool {
+		return !fs.decommissioned[int(c)] && !fs.table.holdsReplica(id, c)
+	}
+	for try := 0; try < placeSampleTries; try++ {
+		c := cluster.NodeID(fs.rng.Intn(n))
+		if ok(c) {
+			return c, true
+		}
+	}
+	start := fs.rng.Intn(n)
+	for i := 0; i < n; i++ {
+		c := cluster.NodeID((start + i) % n)
+		if ok(c) {
+			return c, true
+		}
+	}
+	return 0, false
 }
 
 // ReadBlock reads a block on behalf of a task running at node `at`.
@@ -508,7 +807,7 @@ func (fs *FS) ReadBlock(at cluster.NodeID, id BlockID, done func(ReadResult)) er
 	if fs.tr.Enabled() {
 		sp = fs.tr.Begin("read", "read", int(at),
 			trace.Int("block", int64(id)),
-			trace.Int("size", int64(fs.blocks[int(id)].Size)))
+			trace.Int("size", int64(fs.table.blockSize(id))))
 	}
 	return fs.readAttempt(at, id, fs.eng.Now(), nil, done, true, sp)
 }
@@ -521,12 +820,12 @@ func (fs *FS) ReadBlock(at cluster.NodeID, id BlockID, done func(ReadResult)) er
 // span.
 func (fs *FS) readAttempt(at cluster.NodeID, id BlockID, start sim.Time,
 	exclude map[cluster.NodeID]bool, done func(ReadResult), first bool, sp trace.SpanRef) error {
-	b := fs.blocks[int(id)]
+	size := fs.table.blockSize(id)
 
 	finish := func(src ReadSource, server cluster.NodeID) {
 		res := ReadResult{Block: id, Source: src, Server: server, Started: start, Finished: fs.eng.Now()}
 		if fs.tr.Enabled() {
-			fs.tr.Add(src.bytesCounter(), b.Size)
+			fs.tr.Add(src.bytesCounter(), size)
 			fs.tr.Inc(src.countCounter())
 			sp.End(trace.Str("source", src.String()), trace.Int("server", int64(server)))
 		}
@@ -567,23 +866,28 @@ func (fs *FS) readAttempt(at cluster.NodeID, id BlockID, start sim.Time,
 		dn.MemReads++
 		if memNode == at {
 			fs.eng.Schedule(fs.cfg.ReadLatency, func() {
-				dn.node.Mem.Start(b.Size, func(*sim.Flow) { finish(SourceMemLocal, memNode) })
+				dn.node.Mem.Start(size, func(*sim.Flow) { finish(SourceMemLocal, memNode) })
 			})
 		} else {
 			dn.RemoteServes++
 			legs := fs.transferLegs(dn.node.NIC, at, memNode)
 			fs.eng.Schedule(fs.cfg.ReadLatency, func() {
-				fs.startTransfer(legs, b.Size, func() { finish(SourceMemRemote, memNode) })
+				fs.startTransfer(legs, size, func() { finish(SourceMemRemote, memNode) })
 			})
 		}
 		return nil
 	}
 
-	var replicas []cluster.NodeID
-	for _, r := range fs.Replicas(id) {
-		if !exclude[r] {
-			replicas = append(replicas, r)
+	replicas := fs.LiveReplicas(id, fs.repBuf[:0])
+	fs.repBuf = replicas[:0]
+	if exclude != nil {
+		kept := replicas[:0]
+		for _, r := range replicas {
+			if !exclude[r] {
+				kept = append(kept, r)
+			}
 		}
+		replicas = kept
 	}
 	if len(replicas) == 0 {
 		sp.End(trace.Str("outcome", "failed"))
@@ -622,7 +926,7 @@ func (fs *FS) readAttempt(at cluster.NodeID, id BlockID, start sim.Time,
 		dn.RemoteServes++
 	}
 	res := dn.node.Disk
-	if b.Tier == TierSSD {
+	if fs.blockTier(id) == TierSSD {
 		res = dn.node.SSD
 	}
 	legs := []*sim.Resource{res}
@@ -630,7 +934,7 @@ func (fs *FS) readAttempt(at cluster.NodeID, id BlockID, start sim.Time,
 		legs = fs.transferLegs(res, at, server)
 	}
 	fs.eng.Schedule(fs.cfg.ReadLatency, func() {
-		fs.startTransfer(legs, b.Size, func() { finish(src, server) })
+		fs.startTransfer(legs, size, func() { finish(src, server) })
 	})
 	return nil
 }
@@ -714,30 +1018,23 @@ func (fs *FS) OnRead(fn func(id BlockID, at cluster.NodeID)) error {
 // it consumes residual bandwidth: the full disk when idle, next to
 // nothing when foreground reads saturate it.
 func (dn *DataNode) MigrateToMemory(id BlockID, weight float64, done func(sim.Duration)) (*sim.Flow, error) {
-	b := dn.fs.blocks[int(id)]
-	holds := false
-	for _, r := range b.Replicas {
-		if r == dn.node.ID {
-			holds = true
-			break
-		}
-	}
-	if !holds {
+	fs := dn.fs
+	if !fs.table.holdsReplica(id, dn.node.ID) {
 		return nil, fmt.Errorf("dfs: node %v holds no replica of block %d", dn.node.ID, id)
 	}
 	if weight <= 0 {
 		weight = 1
 	}
-	start := dn.fs.eng.Now()
+	start := fs.eng.Now()
 	dn.DiskReads++
 	res := dn.node.Disk
-	if b.Tier == TierSSD {
+	if fs.blockTier(id) == TierSSD {
 		res = dn.node.SSD
 	}
-	f := res.StartWeighted(b.Size, weight, func(*sim.Flow) {
-		dn.fs.RegisterMem(id, dn.node.ID)
+	f := res.StartWeighted(fs.table.blockSize(id), weight, func(*sim.Flow) {
+		fs.RegisterMem(id, dn.node.ID)
 		if done != nil {
-			done(dn.fs.eng.Now().Sub(start))
+			done(fs.eng.Now().Sub(start))
 		}
 	})
 	return f, nil
@@ -817,7 +1114,7 @@ func (fs *FS) writeTargets(at cluster.NodeID, replication int) []cluster.NodeID 
 			break
 		}
 		id := alive[p]
-		if id == at {
+		if id == at || fs.decommissioned[int(id)] {
 			continue
 		}
 		targets = append(targets, id)
@@ -838,13 +1135,9 @@ func (fs *FS) ReadCounts() []int {
 // SortedBlockIDs returns all block ids of the named files sorted by file
 // order; convenience for tests.
 func (fs *FS) SortedBlockIDs(names []string) []BlockID {
-	blocks, err := fs.FileBlocks(names)
+	ids, err := fs.FileBlockIDs(names)
 	if err != nil {
 		return nil
-	}
-	ids := make([]BlockID, len(blocks))
-	for i, b := range blocks {
-		ids[i] = b.ID
 	}
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	return ids

@@ -1,0 +1,376 @@
+package dfs
+
+// Differential tests pitting the struct-of-arrays block table and the
+// flat registry columns against straightforward map-based reference
+// implementations — the shape of the catalog before the SoA refactor.
+// The references are deliberately naive (maps of slices, no scratch
+// buffers, no positional bookkeeping): any divergence under a long
+// random op sequence is a bug in the compact representation, not in the
+// model.
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"dyrs/internal/cluster"
+	"dyrs/internal/sim"
+)
+
+// refTable is the map-based reference for blockTable: one entry per
+// block, replica sets as plain slices.
+type refTable struct {
+	stride int
+	sizes  map[BlockID]sim.Bytes
+	files  map[BlockID]int32
+	reps   map[BlockID][]cluster.NodeID
+}
+
+func (r *refTable) add(size sim.Bytes, file int32, reps []cluster.NodeID) BlockID {
+	id := BlockID(len(r.sizes))
+	r.sizes[id] = size
+	r.files[id] = file
+	r.reps[id] = append([]cluster.NodeID(nil), reps...)
+	return id
+}
+
+func (r *refTable) rehome(id BlockID, from, to cluster.NodeID) bool {
+	for i, n := range r.reps[id] {
+		if n == from {
+			r.reps[id][i] = to
+			return true
+		}
+	}
+	return false
+}
+
+func (r *refTable) holds(id BlockID, node cluster.NodeID) bool {
+	for _, n := range r.reps[id] {
+		if n == node {
+			return true
+		}
+	}
+	return false
+}
+
+// TestBlockTableDifferential drives a long seeded op sequence through
+// blockTable and refTable in lockstep and compares every accessor after
+// every mutation. Replica sets are compared in slot order: rehome must
+// preserve slot positions exactly, since the postings index and the
+// rack placement tests depend on placement order surviving.
+func TestBlockTableDifferential(t *testing.T) {
+	t.Parallel()
+	const nodes, stride, ops = 12, 3, 4000
+	rng := rand.New(rand.NewSource(99))
+	tab := newBlockTable(stride)
+	ref := &refTable{
+		stride: stride,
+		sizes:  make(map[BlockID]sim.Bytes),
+		files:  make(map[BlockID]int32),
+		reps:   make(map[BlockID][]cluster.NodeID),
+	}
+
+	drawReps := func() []cluster.NodeID {
+		n := 1 + rng.Intn(stride) // short sets exercise the -1 padding
+		perm := rng.Perm(nodes)
+		reps := make([]cluster.NodeID, n)
+		for i := range reps {
+			reps[i] = cluster.NodeID(perm[i])
+		}
+		return reps
+	}
+	checkBlock := func(id BlockID) {
+		if got, want := tab.blockSize(id), ref.sizes[id]; got != want {
+			t.Fatalf("block %d size: table %d, reference %d", id, got, want)
+		}
+		if got, want := tab.fileOf[int(id)], ref.files[id]; got != want {
+			t.Fatalf("block %d file: table %d, reference %d", id, got, want)
+		}
+		if got, want := tab.appendReplicas(id, nil), ref.reps[id]; !reflect.DeepEqual(got, want) {
+			t.Fatalf("block %d replicas: table %v, reference %v", id, got, want)
+		}
+		if got, want := tab.replicaCount(id), len(ref.reps[id]); got != want {
+			t.Fatalf("block %d replica count: table %d, reference %d", id, got, want)
+		}
+		for n := 0; n < nodes; n++ {
+			if got, want := tab.holdsReplica(id, cluster.NodeID(n)), ref.holds(id, cluster.NodeID(n)); got != want {
+				t.Fatalf("block %d holdsReplica(%d): table %v, reference %v", id, n, got, want)
+			}
+		}
+	}
+
+	for op := 0; op < ops; op++ {
+		switch {
+		case tab.len() == 0 || rng.Intn(3) == 0:
+			if rng.Intn(8) == 0 {
+				tab.grow(rng.Intn(64)) // pre-sizing must never change contents
+			}
+			size := sim.Bytes(1 + rng.Int63n(int64(maxBlockBytes)))
+			file := int32(rng.Intn(50))
+			reps := drawReps()
+			got := tab.add(size, file, reps)
+			want := ref.add(size, file, reps)
+			if got != want {
+				t.Fatalf("op %d: add returned id %d, reference %d", op, got, want)
+			}
+			checkBlock(got)
+		default:
+			id := BlockID(rng.Intn(tab.len()))
+			from := cluster.NodeID(rng.Intn(nodes)) // often not a holder: rehome must be a no-op
+			to := cluster.NodeID(rng.Intn(nodes))
+			if got, want := tab.rehome(id, from, to), ref.rehome(id, from, to); got != want {
+				t.Fatalf("op %d: rehome(%d, %d->%d): table %v, reference %v", op, id, from, to, got, want)
+			}
+			checkBlock(id)
+		}
+	}
+	if tab.len() != len(ref.sizes) {
+		t.Fatalf("table has %d blocks, reference %d", tab.len(), len(ref.sizes))
+	}
+}
+
+// refRegistry is the map-based reference for the memory-replica
+// registry — the "three layers of maps" the memNode/memPos columns and
+// resident lists replaced.
+type refRegistry struct {
+	holder  map[BlockID]cluster.NodeID
+	memUsed map[cluster.NodeID]sim.Bytes
+}
+
+func (r *refRegistry) register(id BlockID, size sim.Bytes, node cluster.NodeID) {
+	if prev, ok := r.holder[id]; ok {
+		if prev == node {
+			return
+		}
+		r.memUsed[prev] -= size
+	}
+	r.holder[id] = node
+	r.memUsed[node] += size
+}
+
+func (r *refRegistry) drop(id BlockID, size sim.Bytes, node cluster.NodeID) {
+	if n, ok := r.holder[id]; !ok || n != node {
+		return
+	}
+	delete(r.holder, id)
+	r.memUsed[node] -= size
+}
+
+func (r *refRegistry) dropAll(node cluster.NodeID) {
+	for id, n := range r.holder {
+		if n == node {
+			delete(r.holder, id)
+		}
+	}
+	r.memUsed[node] = 0
+}
+
+func (r *refRegistry) residentSorted(node cluster.NodeID) []BlockID {
+	var ids []BlockID
+	for id, n := range r.holder {
+		if n == node {
+			ids = append(ids, id)
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// TestRegistryDifferential drives random RegisterMem / DropMem /
+// DropAllMem sequences (including the re-registration and wrong-node
+// no-op edge cases) against the reference registry and compares the
+// full observable registry state after every operation, with Fsck as a
+// structural backstop at checkpoints.
+func TestRegistryDifferential(t *testing.T) {
+	t.Parallel()
+	const nodes, ops = 8, 3000
+	eng := sim.NewEngine(7)
+	cl := cluster.New(eng, nodes, nil)
+	fs := New(cl, DefaultConfig())
+	if _, err := fs.CreateFile("in", 60*fs.Config().BlockSize); err != nil {
+		t.Fatal(err)
+	}
+	ref := &refRegistry{
+		holder:  make(map[BlockID]cluster.NodeID),
+		memUsed: make(map[cluster.NodeID]sim.Bytes),
+	}
+
+	rng := rand.New(rand.NewSource(13))
+	nBlocks := fs.NumBlocks()
+	for op := 0; op < ops; op++ {
+		id := BlockID(rng.Intn(nBlocks))
+		switch rng.Intn(10) {
+		case 0:
+			node := cluster.NodeID(rng.Intn(nodes))
+			fs.DropAllMem(node)
+			ref.dropAll(node)
+		case 1, 2, 3:
+			node := cluster.NodeID(rng.Intn(nodes)) // wrong holder half the time
+			fs.DropMem(id, node)
+			ref.drop(id, fs.BlockSize(id), node)
+		default:
+			// Memory replicas come from local disk replicas; stay on the
+			// block's replica set so invariant 5 holds.
+			reps := fs.Replicas(id)
+			node := reps[rng.Intn(len(reps))]
+			fs.RegisterMem(id, node)
+			ref.register(id, fs.BlockSize(id), node)
+		}
+
+		if got, want := fs.MemReplicaCount(), len(ref.holder); got != want {
+			t.Fatalf("op %d: registry count %d, reference %d", op, got, want)
+		}
+		holder, ok := fs.MemReplica(id)
+		refHolder, refOK := ref.holder[id]
+		if ok != refOK || (ok && holder != refHolder) {
+			t.Fatalf("op %d: block %d holder (%v,%v), reference (%v,%v)", op, id, holder, ok, refHolder, refOK)
+		}
+		if op%100 == 0 {
+			var total sim.Bytes
+			for n := 0; n < nodes; n++ {
+				dn := fs.DataNode(cluster.NodeID(n))
+				if got, want := dn.MemUsed(), ref.memUsed[cluster.NodeID(n)]; got != want {
+					t.Fatalf("op %d: node %d memUsed %d, reference %d", op, n, got, want)
+				}
+				if got, want := dn.MemBlockIDs(), ref.residentSorted(cluster.NodeID(n)); !reflect.DeepEqual(got, want) && !(len(got) == 0 && len(want) == 0) {
+					t.Fatalf("op %d: node %d resident %v, reference %v", op, n, got, want)
+				}
+				total += dn.MemUsed()
+			}
+			if total != fs.TotalMemUsed() {
+				t.Fatalf("op %d: TotalMemUsed %d, per-node sum %d", op, fs.TotalMemUsed(), total)
+			}
+			for _, err := range fs.Fsck() {
+				t.Fatalf("op %d: fsck: %v", op, err)
+			}
+		}
+	}
+}
+
+// rackCounts snapshots RackBlockCount for every rack.
+func rackCounts(fs *FS) []int {
+	out := make([]int, fs.Cluster().Racks())
+	for r := range out {
+		out[r] = fs.RackBlockCount(r)
+	}
+	return out
+}
+
+func totalReplicaSlots(fs *FS) int {
+	n := 0
+	for id := 0; id < fs.NumBlocks(); id++ {
+		n += len(fs.Block(BlockID(id)).Replicas)
+	}
+	return n
+}
+
+// TestRackIndexAcrossNodeDeath: killing a node must not disturb the
+// replica postings or the per-rack aggregation — the NameNode catalog
+// still records the replicas; only the liveness view changes.
+func TestRackIndexAcrossNodeDeath(t *testing.T) {
+	t.Parallel()
+	eng := sim.NewEngine(11)
+	cl := cluster.New(eng, 12, nil)
+	cl.ConfigureRacks(4, 0)
+	fs := New(cl, DefaultConfig())
+	if _, err := fs.CreateFile("in", 48*fs.Config().BlockSize); err != nil {
+		t.Fatal(err)
+	}
+	before := rackCounts(fs)
+	victim := cluster.NodeID(5)
+	victimPosting := fs.BlocksOnNode(victim)
+	if len(victimPosting) == 0 {
+		t.Fatal("victim holds no replicas; pick another seed")
+	}
+
+	cl.KillNode(victim)
+
+	if got := rackCounts(fs); !reflect.DeepEqual(got, before) {
+		t.Errorf("rack counts changed across node death: %v -> %v", before, got)
+	}
+	if got := fs.BlocksOnNode(victim); !reflect.DeepEqual(got, victimPosting) {
+		t.Errorf("dead node's posting changed: %d -> %d entries", len(victimPosting), len(got))
+	}
+	for _, id := range victimPosting {
+		for _, r := range fs.Replicas(id) {
+			if r == victim {
+				t.Fatalf("block %d still offers dead node %v as a live replica", id, victim)
+			}
+		}
+	}
+	for _, err := range fs.Fsck() {
+		t.Errorf("fsck after death: %v", err)
+	}
+}
+
+// TestRackIndexAcrossDecommission: decommissioning re-homes the node's
+// replicas; the postings index and rack aggregation must track every
+// move exactly, and the total replica population must be conserved.
+func TestRackIndexAcrossDecommission(t *testing.T) {
+	t.Parallel()
+	eng := sim.NewEngine(17)
+	cl := cluster.New(eng, 12, nil)
+	cl.ConfigureRacks(4, 0)
+	fs := New(cl, DefaultConfig())
+	if _, err := fs.CreateFile("in", 48*fs.Config().BlockSize); err != nil {
+		t.Fatal(err)
+	}
+	slotsBefore := totalReplicaSlots(fs)
+	victim := cluster.NodeID(2)
+	posting := fs.BlocksOnNode(victim)
+
+	moved, err := fs.DecommissionNode(victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if moved+len(fs.BlocksOnNode(victim)) != len(posting) {
+		t.Errorf("moved %d + kept %d != original posting %d",
+			moved, len(fs.BlocksOnNode(victim)), len(posting))
+	}
+	if got := totalReplicaSlots(fs); got != slotsBefore {
+		t.Errorf("replica slots not conserved: %d -> %d", slotsBefore, got)
+	}
+	sum := 0
+	for _, c := range rackCounts(fs) {
+		sum += c
+	}
+	if sum != slotsBefore {
+		t.Errorf("rack counts sum to %d, want %d", sum, slotsBefore)
+	}
+	// Every re-homed block: gone from the victim's slots, present exactly
+	// once in its new home's posting (fsck checks the index globally; this
+	// checks the per-move delta).
+	for _, id := range posting {
+		found := 0
+		for _, r := range fs.Block(id).Replicas {
+			if r == victim {
+				found++
+			}
+		}
+		onPosting := 0
+		for _, pid := range fs.BlocksOnNode(victim) {
+			if pid == id {
+				onPosting++
+			}
+		}
+		if found != onPosting {
+			t.Errorf("block %d: %d victim slots but %d posting entries", id, found, onPosting)
+		}
+	}
+	// New placement never lands on the decommissioned node.
+	if _, err := fs.CreateFile("after", 24*fs.Config().BlockSize); err != nil {
+		t.Fatal(err)
+	}
+	f, _ := fs.File("after")
+	for _, id := range f.Blocks {
+		for _, r := range fs.Block(id).Replicas {
+			if r == victim {
+				t.Fatalf("block %d placed on decommissioned node %v", id, victim)
+			}
+		}
+	}
+	for _, err := range fs.Fsck() {
+		t.Errorf("fsck after decommission: %v", err)
+	}
+}

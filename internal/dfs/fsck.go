@@ -3,6 +3,7 @@ package dfs
 import (
 	"fmt"
 
+	"dyrs/internal/cluster"
 	"dyrs/internal/sim"
 )
 
@@ -12,16 +13,22 @@ import (
 // memory accounting.
 //
 // Invariants checked:
-//  1. Every file's blocks exist, belong to it, and are indexed densely.
-//  2. Every block has between 1 and Replication replicas, all distinct.
-//  3. The in-memory replica registry and the per-node buffers agree in
-//     both directions: the registry points at nodes that actually hold
-//     the block, and every buffered block is the registry's holder (a
-//     block has at most one memory replica).
+//  1. Every file's blocks exist, belong to it, and are indexed densely
+//     (consecutive block IDs from the file's first block).
+//  2. Every block has between 1 and Replication replicas, all distinct,
+//     none on a decommissioned node unless no replacement existed.
+//  3. The in-memory replica registry (the table's memNode/memPos
+//     columns) and the per-node resident lists agree in both directions:
+//     the registry points into the holder's resident list, and every
+//     resident block is the registry's holder (a block has at most one
+//     memory replica).
 //  4. Per-DataNode buffered-byte accounting equals the sum of resident
 //     block sizes, and no node exceeds its memory capacity.
 //  5. Every buffered block is also a disk-replica holder's block (memory
 //     replicas are created by migrating a local disk replica).
+//  6. The per-node replica postings index is exact: every posting entry
+//     is backed by a replica slot on that node, no entry is duplicated,
+//     and the index covers every filled replica slot.
 func (fs *FS) Fsck() []error {
 	var errs []error
 	report := func(format string, args ...any) {
@@ -29,64 +36,98 @@ func (fs *FS) Fsck() []error {
 	}
 
 	// 1-2: catalog structure.
+	filledSlots := 0
 	for name, f := range fs.files {
 		var total sim.Bytes
 		for i, id := range f.Blocks {
-			if int(id) >= len(fs.blocks) {
+			if int(id) >= fs.table.len() {
 				report("file %s references unknown block %d", name, id)
 				continue
 			}
-			b := fs.blocks[int(id)]
-			if b.File != name {
-				report("block %d claims file %s, referenced by %s", id, b.File, name)
+			owner := fs.fileList[fs.table.fileOf[int(id)]]
+			if owner.Name != name {
+				report("block %d claims file %s, referenced by %s", id, owner.Name, name)
 			}
-			if b.Index != i {
-				report("block %d of %s has index %d, want %d", id, name, b.Index, i)
+			if len(f.Blocks) > 0 && id != f.Blocks[0]+BlockID(i) {
+				report("block %d of %s breaks the file's dense ID range (index %d, first %d)",
+					id, name, i, f.Blocks[0])
 			}
-			if len(b.Replicas) == 0 || len(b.Replicas) > fs.cfg.Replication {
-				report("block %d has %d replicas", id, len(b.Replicas))
+			nrep := fs.table.replicaCount(id)
+			if nrep == 0 || nrep > fs.cfg.Replication {
+				report("block %d has %d replicas", id, nrep)
 			}
-			seen := map[int]bool{}
-			for _, r := range b.Replicas {
-				if seen[int(r)] {
-					report("block %d has duplicate replica on %v", id, r)
+			filledSlots += nrep
+			base := int(id) * fs.table.stride
+			for si := 0; si < fs.table.stride; si++ {
+				r := fs.table.replicas[base+si]
+				if r < 0 {
+					continue
 				}
-				seen[int(r)] = true
+				for sj := si + 1; sj < fs.table.stride; sj++ {
+					if fs.table.replicas[base+sj] == r {
+						report("block %d has duplicate replica on %v", id, cluster.NodeID(r))
+					}
+				}
 			}
-			total += b.Size
+			total += fs.table.blockSize(id)
 		}
 		if total != f.Size {
 			report("file %s block sizes sum to %d, want %d", name, total, f.Size)
 		}
 	}
 
-	// 3: registry consistency.
-	for id, node := range fs.mem {
-		if !fs.dns[int(node)].HasMem(id) {
-			report("registry says block %d is on %v, but the DataNode does not hold it", id, node)
+	// 6: postings index.
+	postingEntries := 0
+	for nid, posting := range fs.byNode {
+		seen := make(map[BlockID]bool, len(posting))
+		for _, id := range posting {
+			if seen[id] {
+				report("postings index lists block %d on node %d twice", id, nid)
+				continue
+			}
+			seen[id] = true
+			if int(id) >= fs.table.len() || !fs.table.holdsReplica(id, cluster.NodeID(nid)) {
+				report("postings index lists block %d on node %d, which holds no replica", id, nid)
+			}
 		}
+		postingEntries += len(posting)
+	}
+	if postingEntries != filledSlots {
+		report("postings index has %d entries, catalog has %d replica slots", postingEntries, filledSlots)
+	}
+
+	// 3: registry consistency (forward direction).
+	registered := 0
+	for id := 0; id < fs.table.len(); id++ {
+		node := fs.table.memNode[id]
+		pos := fs.table.memPos[id]
+		if node < 0 {
+			if pos >= 0 {
+				report("block %d has no memory holder but resident position %d", id, pos)
+			}
+			continue
+		}
+		registered++
+		dn := fs.dns[int(node)]
+		if pos < 0 || int(pos) >= len(dn.resident) || dn.resident[pos] != BlockID(id) {
+			report("registry says block %d is at position %d on %v, but the resident list disagrees",
+				id, pos, dn.node.ID)
+		}
+	}
+	if registered != fs.memCount {
+		report("registry holds %d memory replicas, counter says %d", registered, fs.memCount)
 	}
 
 	// 3 (reverse), 4-5: per-node accounting.
 	for _, dn := range fs.dns {
 		var sum sim.Bytes
-		for id, size := range dn.memBlocks {
-			b := fs.blocks[int(id)]
-			if b.Size != size {
-				report("node %v charges block %d at %d bytes, want %d", dn.node.ID, id, size, b.Size)
+		for _, id := range dn.resident {
+			if fs.table.memNode[int(id)] != int32(dn.node.ID) {
+				report("node %v buffers block %d, but the registry records holder %d",
+					dn.node.ID, id, fs.table.memNode[int(id)])
 			}
-			sum += size
-			if holder, ok := fs.mem[id]; !ok || holder != dn.node.ID {
-				report("node %v buffers block %d, but the registry records holder %v (registered=%v)",
-					dn.node.ID, id, holder, ok)
-			}
-			holds := false
-			for _, r := range b.Replicas {
-				if r == dn.node.ID {
-					holds = true
-				}
-			}
-			if !holds {
+			sum += fs.table.blockSize(id)
+			if !fs.table.holdsReplica(id, dn.node.ID) {
 				report("node %v buffers block %d without holding a disk replica", dn.node.ID, id)
 			}
 		}

@@ -52,12 +52,16 @@ func TestFsckUnknownBlockReference(t *testing.T) {
 func TestFsckBlockIndexAndOwnership(t *testing.T) {
 	t.Parallel()
 	fs, f, _ := fsckRig(t)
-	// Swapping two blocks breaks the dense-index invariant.
+	// Swapping two blocks breaks the dense-ID invariant.
 	f.Blocks[0], f.Blocks[1] = f.Blocks[1], f.Blocks[0]
-	expectFsck(t, fs, "has index")
+	expectFsck(t, fs, "dense ID range")
 
 	fs2, f2, _ := fsckRig(t)
-	fs2.blocks[int(f2.Blocks[0])].File = "someone-else"
+	if _, err := fs2.CreateFile("someone-else", 256*sim.MB); err != nil {
+		t.Fatal(err)
+	}
+	// Point the block's fileOf column at the other file.
+	fs2.table.fileOf[int(f2.Blocks[0])] = int32(len(fs2.fileList) - 1)
 	expectFsck(t, fs2, "claims file")
 }
 
@@ -71,20 +75,23 @@ func TestFsckFileSizeMismatch(t *testing.T) {
 func TestFsckReplicaCountAndDuplicates(t *testing.T) {
 	t.Parallel()
 	fs, f, memNode := fsckRig(t)
-	b := fs.blocks[int(f.Blocks[1])]
-	b.Replicas = nil
+	base := int(f.Blocks[1]) * fs.table.stride
+	for i := 0; i < fs.table.stride; i++ {
+		fs.table.replicas[base+i] = -1
+	}
 	expectFsck(t, fs, "has 0 replicas")
-	b.Replicas = []cluster.NodeID{memNode, memNode}
+	fs.table.replicas[base] = int32(memNode)
+	fs.table.replicas[base+1] = int32(memNode)
 	expectFsck(t, fs, "duplicate replica")
 }
 
 func TestFsckRegistryPointsAtEmptyNode(t *testing.T) {
 	t.Parallel()
-	fs, f, memNode := fsckRig(t)
+	fs, _, memNode := fsckRig(t)
 	// Forward direction: registry entry without a backing buffer.
-	delete(fs.dns[int(memNode)].memBlocks, f.Blocks[0])
+	fs.dns[int(memNode)].resident = fs.dns[int(memNode)].resident[:0]
 	fs.dns[int(memNode)].memUsed = 0
-	expectFsck(t, fs, "the DataNode does not hold it")
+	expectFsck(t, fs, "the resident list disagrees")
 }
 
 func TestFsckBufferWithoutRegistryEntry(t *testing.T) {
@@ -95,7 +102,7 @@ func TestFsckBufferWithoutRegistryEntry(t *testing.T) {
 	// re-migration used to leave behind.
 	b := fs.Block(f.Blocks[1])
 	other := b.Replicas[0]
-	fs.dns[int(other)].memBlocks[b.ID] = b.Size
+	fs.dns[int(other)].resident = append(fs.dns[int(other)].resident, b.ID)
 	fs.dns[int(other)].memUsed += b.Size
 	expectFsck(t, fs, "but the registry records holder")
 	_ = memNode
@@ -111,20 +118,16 @@ func TestFsckAccountingMismatch(t *testing.T) {
 func TestFsckNegativeAccounting(t *testing.T) {
 	t.Parallel()
 	fs, f, memNode := fsckRig(t)
-	dn := fs.dns[int(memNode)]
-	delete(dn.memBlocks, f.Blocks[0])
-	delete(fs.mem, f.Blocks[0])
-	dn.memUsed = -1
+	fs.DropMem(f.Blocks[0], memNode)
+	fs.dns[int(memNode)].memUsed = -1
 	expectFsck(t, fs, "negative buffered bytes")
 }
 
 func TestFsckMemoryCapacityExceeded(t *testing.T) {
 	t.Parallel()
-	fs, f, memNode := fsckRig(t)
+	fs, _, memNode := fsckRig(t)
 	dn := fs.dns[int(memNode)]
-	huge := dn.node.Cfg.MemCapacity + 1
-	dn.memBlocks[f.Blocks[0]] = huge
-	dn.memUsed = huge
+	dn.memUsed = dn.node.Cfg.MemCapacity + 1
 	expectFsck(t, fs, "exceeding its memory capacity")
 }
 

@@ -11,8 +11,8 @@ import (
 )
 
 // BenchSchema versions the BENCH.json layout so regression tooling can
-// reject documents it does not understand.
-const BenchSchema = "dyrs-bench/v1"
+// reject documents it does not understand. v2 added the macro rows.
+const BenchSchema = "dyrs-bench/v2"
 
 // BenchRow is the timing summary for one experiment across repetitions.
 type BenchRow struct {
@@ -23,29 +23,51 @@ type BenchRow struct {
 	MaxSeconds  float64 `json:"max_seconds"`
 }
 
+// MacroBenchRow summarizes one datacenter-scale preset run: throughput
+// in simulated events per wall-clock second plus the memory cost of the
+// run. PeakSysMiB is the Go runtime's OS-claimed memory after the run —
+// an upper bound on the run's peak heap, reported in place of true RSS
+// so the number is portable — and AllocMiB/Allocs are the run's total
+// allocation volume and count.
+type MacroBenchRow struct {
+	Scenario     string  `json:"scenario"`
+	Nodes        int     `json:"nodes"`
+	Blocks       int     `json:"blocks"`
+	Events       uint64  `json:"events"`
+	Seconds      float64 `json:"seconds"`
+	EventsPerSec float64 `json:"events_per_sec"`
+	PeakSysMiB   float64 `json:"peak_sys_mib"`
+	AllocMiB     float64 `json:"alloc_mib"`
+	Allocs       uint64  `json:"allocs"`
+}
+
 // BenchReport is the canonical macro-benchmark document emitted by
 // `dyrs-bench -bench` and uploaded by CI as BENCH_PR<N>.json: it
 // aggregates per-experiment wall-clock timings plus enough environment
 // detail to judge whether two documents are comparable.
 type BenchReport struct {
-	Schema       string     `json:"schema"`
-	Seed         int64      `json:"seed"`
-	Reps         int        `json:"reps"`
-	Jobs         int        `json:"jobs"`
-	GoVersion    string     `json:"go_version"`
-	GOOS         string     `json:"goos"`
-	GOARCH       string     `json:"goarch"`
-	Rows         []BenchRow `json:"rows"`
-	TotalSeconds float64    `json:"total_seconds"`
+	Schema       string          `json:"schema"`
+	Seed         int64           `json:"seed"`
+	Reps         int             `json:"reps"`
+	Jobs         int             `json:"jobs"`
+	GoVersion    string          `json:"go_version"`
+	GOOS         string          `json:"goos"`
+	GOARCH       string          `json:"goarch"`
+	Rows         []BenchRow      `json:"rows"`
+	Macro        []MacroBenchRow `json:"macro,omitempty"`
+	TotalSeconds float64         `json:"total_seconds"`
 }
 
 // RunBench times every registered experiment reps times on a pool of
 // the given width and summarizes the wall-clock cost per experiment.
 // Results are discarded — only timing is kept — but each rep is a full
 // run from a fresh seeded environment, so the numbers reflect what
-// RunAllParallel actually costs. Progress, when non-nil, receives the
-// runner's serialized events (rep boundaries included).
-func RunBench(seed int64, reps, jobs int, progress func(runner.Event)) (*BenchReport, error) {
+// RunAllParallel actually costs. With macro set it then runs the
+// datacenter-scale presets once each (serially, so the memory numbers
+// are attributable) and appends their throughput and footprint as Macro
+// rows. Progress, when non-nil, receives the runner's serialized events
+// (rep boundaries included).
+func RunBench(seed int64, reps, jobs int, macro bool, progress func(runner.Event)) (*BenchReport, error) {
 	if reps < 1 {
 		reps = 1
 	}
@@ -81,8 +103,54 @@ func RunBench(seed int64, reps, jobs int, progress func(runner.Event)) (*BenchRe
 			row.MeanSeconds += secs / float64(reps)
 		}
 	}
+	if macro {
+		for _, opt := range macroScenarios(seed) {
+			row, err := macroBench(opt)
+			if err != nil {
+				return nil, fmt.Errorf("macro bench %s: %w", opt.Scenario, err)
+			}
+			rep.Macro = append(rep.Macro, row)
+		}
+	}
 	rep.TotalSeconds = time.Since(start).Seconds()
 	return rep, nil
+}
+
+// macroScenarios lists the datacenter-scale presets RunBench's macro
+// pass times. scale10k is deliberately absent: at ~10^8 events per run
+// it belongs in nightly or manual benchmarking, not every CI bench job.
+func macroScenarios(seed int64) []ScaleOptions {
+	return []ScaleOptions{Scale100Options(seed), Scale1kOptions(seed)}
+}
+
+// macroBench runs one scale preset and measures its wall-clock cost and
+// memory footprint. The pre-run GC puts the heap in a known state so
+// the allocation deltas belong to this run alone.
+func macroBench(opt ScaleOptions) (MacroBenchRow, error) {
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	start := time.Now() //lint:walltime — wall-clock benchmark timing is the point here
+	row, err := RunScale(opt)
+	secs := time.Since(start).Seconds()
+	if err != nil {
+		return MacroBenchRow{}, err
+	}
+	runtime.ReadMemStats(&after)
+	out := MacroBenchRow{
+		Scenario:   row.Scenario,
+		Nodes:      row.Nodes,
+		Blocks:     row.Blocks,
+		Events:     row.EventsFired,
+		Seconds:    secs,
+		PeakSysMiB: float64(after.Sys) / (1 << 20),
+		AllocMiB:   float64(after.TotalAlloc-before.TotalAlloc) / (1 << 20),
+		Allocs:     after.Mallocs - before.Mallocs,
+	}
+	if secs > 0 {
+		out.EventsPerSec = float64(row.EventsFired) / secs
+	}
+	return out, nil
 }
 
 // WriteJSON writes the report as indented JSON.

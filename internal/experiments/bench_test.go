@@ -4,10 +4,11 @@ import (
 	"bytes"
 	"encoding/json"
 	"testing"
+	"time"
 )
 
 func TestRunBenchReportShape(t *testing.T) {
-	rep, err := RunBench(1, 2, 0, nil)
+	rep, err := RunBench(1, 2, 0, false, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -47,8 +48,33 @@ func TestRunBenchReportShape(t *testing.T) {
 	}
 }
 
+// TestMacroBenchRow exercises the macro measurement on a preset small
+// enough for unit tests; the real presets run via -bench and the Go
+// macro-benchmarks.
+func TestMacroBenchRow(t *testing.T) {
+	opt := Scale100Options(7)
+	opt.Scenario = "scale-tiny"
+	opt.Nodes, opt.Racks = 8, 2
+	opt.Files, opt.BlocksPerFile = 4, 8
+	opt.Jobs, opt.FilesPerJob = 4, 1
+	opt.Virtual = 2 * time.Hour
+	row, err := macroBench(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.Scenario != "scale-tiny" || row.Nodes != 8 || row.Blocks != 32 {
+		t.Errorf("macro row misreports the preset: %+v", row)
+	}
+	if row.Events == 0 || row.Seconds <= 0 || row.EventsPerSec <= 0 {
+		t.Errorf("macro row missing throughput numbers: %+v", row)
+	}
+	if row.PeakSysMiB <= 0 || row.AllocMiB <= 0 || row.Allocs == 0 {
+		t.Errorf("macro row missing memory numbers: %+v", row)
+	}
+}
+
 func TestRunBenchClampsReps(t *testing.T) {
-	rep, err := RunBench(1, 0, 1, nil)
+	rep, err := RunBench(1, 0, 1, false, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -55,6 +55,8 @@ type FullReport struct {
 	HotCold []HotColdRow `json:"hotcold"`
 
 	Iterative []IterativeRow `json:"iterative"`
+
+	Scale []ScaleRow `json:"scale"`
 }
 
 // HiveRowJSON is the JSON form of one Hive query result.

@@ -62,6 +62,7 @@ func Registry() []Experiment {
 		orderExperiment(),
 		hotcoldExperiment(),
 		iterativeExperiment(),
+		scaleExperiment(),
 	}
 }
 

@@ -65,6 +65,78 @@ func TestGenerateBounds(t *testing.T) {
 	}
 }
 
+func TestGenerateLargeDeterministicAndBounds(t *testing.T) {
+	t.Parallel()
+	sawDeaths := 0
+	for seed := int64(1); seed <= 100; seed++ {
+		sc := GenerateLarge(seed)
+		if !reflect.DeepEqual(sc, GenerateLarge(seed)) {
+			t.Fatalf("seed %d: GenerateLarge is not deterministic", seed)
+		}
+		if !sc.Large {
+			t.Fatalf("seed %d: Large not set", seed)
+		}
+		if sc.Workers < 64 || sc.Workers > 256 {
+			t.Fatalf("seed %d: workers = %d, want 64..256", seed, sc.Workers)
+		}
+		if sc.Racks != 4 && sc.Racks != 8 && sc.Racks != 16 {
+			t.Fatalf("seed %d: racks = %d", seed, sc.Racks)
+		}
+		if len(sc.Jobs) < 6 || len(sc.Jobs) > 12 {
+			t.Fatalf("seed %d: %d jobs, want 6..12", seed, len(sc.Jobs))
+		}
+		deaths := 0
+		for _, f := range sc.Faults {
+			if f.Node < 0 || f.Node >= sc.Workers {
+				t.Fatalf("seed %d: fault on node %d of %d", seed, f.Node, sc.Workers)
+			}
+			if f.Kind == FaultNodeDeath {
+				deaths++
+			}
+		}
+		if deaths > 3 {
+			t.Fatalf("seed %d: %d node deaths, want <= 3", seed, deaths)
+		}
+		sawDeaths += deaths
+	}
+	if sawDeaths == 0 {
+		t.Error("no large seed in 1..100 drew a node death; envelope too tame")
+	}
+}
+
+// TestGenerateLargeIndependentStream guards the seed decorrelation: the
+// large draw for seed N must not be the small draw dressed up.
+func TestGenerateLargeIndependentStream(t *testing.T) {
+	t.Parallel()
+	same := 0
+	for seed := int64(1); seed <= 20; seed++ {
+		if len(Generate(seed).Jobs) == len(GenerateLarge(seed).Jobs) {
+			same++
+		}
+	}
+	if same == 20 {
+		t.Error("large and small streams fully correlated across 20 seeds")
+	}
+}
+
+// TestCheckScenarioLargeSmoke runs the full five-oracle battery on one
+// datacenter-shaped scenario — the per-PR slice of the nightly
+// scenario-sweep-large job. Large runs are seconds each (three full
+// simulations), so keep this to a single seed and skip under -short.
+func TestCheckScenarioLargeSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large scenario run skipped under -short")
+	}
+	t.Parallel()
+	sc := GenerateLarge(3)
+	if sc.Racks <= 1 {
+		t.Fatalf("large scenario has no racks: %s", sc)
+	}
+	for _, f := range CheckScenario(sc) {
+		t.Errorf("large seed 3: %s", f)
+	}
+}
+
 // TestCheckScenarioSmokeSeeds runs the full oracle battery over a few
 // seeds chosen to cover faults and heterogeneity (the wide sweep lives
 // in CI via cmd/dyrs-fuzz).
@@ -204,6 +276,13 @@ func TestReproScenarioAppliesMasks(t *testing.T) {
 	if got, want := r.Command(), fmt.Sprintf("dyrs-fuzz -seed %d -repro 'faults=1;jobs=0'", seed); got != want {
 		t.Fatalf("Command() = %q, want %q", got, want)
 	}
+	r.Large = true
+	if got, want := r.Command(), fmt.Sprintf("dyrs-fuzz -large -seed %d -repro 'faults=1;jobs=0'", seed); got != want {
+		t.Fatalf("large Command() = %q, want %q", got, want)
+	}
+	if large := r.Scenario(); !large.Large || large.Workers < 64 {
+		t.Fatalf("large repro regenerated small scenario: %s", large)
+	}
 }
 
 // TestShrinkWithSyntheticPredicate verifies the reduction core finds a
@@ -220,7 +299,7 @@ func TestShrinkWithSyntheticPredicate(t *testing.T) {
 	// Fails whenever at least one fault and one job remain: the minimum
 	// is exactly one of each.
 	calls := 0
-	rep := ShrinkWith(seed, func(sc Scenario) bool {
+	rep := ShrinkWith(seed, false, func(sc Scenario) bool {
 		calls++
 		return len(sc.Faults) >= 1 && len(sc.Jobs) >= 1
 	})

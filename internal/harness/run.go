@@ -97,6 +97,7 @@ func RunScenario(sc Scenario, policy experiments.Policy) *RunResult {
 	res := &RunResult{Policy: policy, Submitted: len(sc.Jobs)}
 	opt := experiments.Options{
 		Workers:   sc.Workers,
+		Racks:     sc.Racks,
 		Seed:      sc.Seed,
 		SlowNodes: sc.SlowNodes,
 		Trace:     true,

@@ -124,8 +124,14 @@ type Fault struct {
 // Scenario can be executed under different policies (metamorphic
 // oracle) or repeatedly (determinism oracle).
 type Scenario struct {
-	Seed    int64
+	Seed int64
+	// Large marks a datacenter-shaped draw (see GenerateLarge); recorded
+	// so repro lines regenerate from the right envelope.
+	Large   bool
 	Workers int
+	// Racks, when >1, partitions the workers into racks with rack-aware
+	// replica placement (large topologies only; 0 = flat network).
+	Racks int
 	// SlowNodes scales the disk bandwidth of fixed-slow hardware
 	// (node index -> scale < 1).
 	SlowNodes map[int]float64
@@ -140,23 +146,58 @@ type Scenario struct {
 
 // String renders a compact one-line description for failure reports.
 func (sc Scenario) String() string {
-	return fmt.Sprintf("seed=%d workers=%d slow=%d jobs=%d faults=%d hb=%v",
-		sc.Seed, sc.Workers, len(sc.SlowNodes), len(sc.Jobs), len(sc.Faults), sc.Heartbeats)
+	size := ""
+	if sc.Large {
+		size = fmt.Sprintf(" large racks=%d", sc.Racks)
+	}
+	return fmt.Sprintf("seed=%d workers=%d%s slow=%d jobs=%d faults=%d hb=%v",
+		sc.Seed, sc.Workers, size, len(sc.SlowNodes), len(sc.Jobs), len(sc.Faults), sc.Heartbeats)
 }
 
-// Generate draws the scenario for a seed. It is deterministic: the same
-// seed always yields a deeply equal Scenario, which is what makes the
-// keep-mask repro encoding (see Repro) stable.
-func Generate(seed int64) Scenario {
+// Generate draws the testbed-scale scenario for a seed (5-8 workers,
+// the paper's envelope). It is deterministic: the same seed always
+// yields a deeply equal Scenario, which is what makes the keep-mask
+// repro encoding (see Repro) stable.
+func Generate(seed int64) Scenario { return generate(seed, false) }
+
+// GenerateLarge draws a datacenter-shaped scenario: 64-256 workers in
+// 4-16 racks, more jobs, more faults (including multiple node deaths).
+// It exercises the paths testbed scenarios cannot — rack-aware replica
+// placement, the per-rack replica indexes, and scale-dependent binder
+// behaviour — under the same five oracles. Deterministic per seed, and
+// drawn from an independent stream, so large seed N is unrelated to
+// small seed N.
+func GenerateLarge(seed int64) Scenario { return generate(seed, true) }
+
+// generate is the shared draw. The large envelope only widens ranges;
+// the structure (hardware, workload, fault schedule) is identical, so
+// shrinking and repro masks work the same way in both modes.
+func generate(seed int64, large bool) Scenario {
 	rng := rand.New(rand.NewSource(seed))
+	if large {
+		// Decouple the large stream from the small one so sweeping the
+		// same seed range in both modes doesn't correlate the draws.
+		rng = rand.New(rand.NewSource(seed ^ 0x1a56e))
+	}
 	sc := Scenario{
 		Seed:    seed,
+		Large:   large,
 		Workers: 5 + rng.Intn(4), // 5..8, always enough for 3-way replication
 		Horizon: time.Hour,
 	}
+	maxSlow, maxJobs, maxDeaths, maxFaults := 2, 5, 1, 4
+	if large {
+		sc.Workers = 64 + rng.Intn(193) // 64..256
+		sc.Racks = []int{4, 8, 16}[rng.Intn(3)]
+		sc.Horizon = 2 * time.Hour
+		maxSlow = sc.Workers / 8
+		maxJobs = 12
+		maxDeaths = 3
+		maxFaults = 6
+	}
 
-	// Fixed hardware heterogeneity: up to two slower disks.
-	if n := rng.Intn(3); n > 0 {
+	// Fixed hardware heterogeneity: a few slower disks.
+	if n := rng.Intn(maxSlow + 1); n > 0 {
 		sc.SlowNodes = make(map[int]float64)
 		for i := 0; i < n; i++ {
 			sc.SlowNodes[rng.Intn(sc.Workers)] = 0.3 + 0.5*rng.Float64()
@@ -164,9 +205,13 @@ func Generate(seed int64) Scenario {
 	}
 	sc.Heartbeats = rng.Intn(2) == 0
 
-	// Workload: 2..5 jobs of mixed shapes, 256 MB .. ~2 GB inputs,
-	// spread over the first half minute.
-	njobs := 2 + rng.Intn(4)
+	// Workload: jobs of mixed shapes, 256 MB .. ~2 GB inputs, spread
+	// over the first half minute (large: first two minutes).
+	submitSpread, minJobs := 31, 2
+	if large {
+		submitSpread, minJobs = 121, 6
+	}
+	njobs := minJobs + rng.Intn(maxJobs-minJobs+1)
 	for i := 0; i < njobs; i++ {
 		j := JobSpec{
 			Kind:     JobKind(rng.Intn(int(numJobKinds))),
@@ -175,7 +220,7 @@ func Generate(seed int64) Scenario {
 			Size:     sim.Bytes(1+rng.Intn(8)) * 256 * sim.MB,
 			Reducers: 1 + rng.Intn(6),
 			Lead:     time.Duration(2+rng.Intn(7)) * time.Second,
-			Submit:   time.Duration(rng.Intn(31)) * time.Second,
+			Submit:   time.Duration(rng.Intn(submitSpread)) * time.Second,
 		}
 		if j.Kind == KindJoin {
 			j.File2 = fmt.Sprintf("fuzz/in-%d-right", i)
@@ -184,22 +229,22 @@ func Generate(seed int64) Scenario {
 		sc.Jobs = append(sc.Jobs, j)
 	}
 
-	// Faults: 0..4, in the window the workload is active. At most one
-	// node death per scenario (the runtime guard additionally refuses to
+	// Faults, in the window the workload is active. Node deaths are
+	// bounded per scenario (the runtime guard additionally refuses to
 	// drop below four live nodes).
-	nfaults := rng.Intn(5)
-	usedDeath := false
+	nfaults := rng.Intn(maxFaults + 1)
+	deaths := 0
 	for i := 0; i < nfaults; i++ {
 		f := Fault{
 			Kind: FaultKind(rng.Intn(int(numFaultKinds))),
 			At:   time.Duration(2+rng.Intn(59)) * time.Second,
 			Node: rng.Intn(sc.Workers),
 		}
-		if f.Kind == FaultNodeDeath && usedDeath {
+		if f.Kind == FaultNodeDeath && deaths >= maxDeaths {
 			f.Kind = FaultSlaveRestart
 		}
 		if f.Kind == FaultNodeDeath {
-			usedDeath = true
+			deaths++
 		}
 		if f.Kind == FaultInterference {
 			f.Dur = time.Duration(5+rng.Intn(26)) * time.Second

@@ -14,6 +14,7 @@ import (
 // a repro line is stable across machines and runs.
 type Repro struct {
 	Seed       int64
+	Large      bool  // regenerate from the large-topology envelope
 	KeepFaults []int // nil: all faults
 	KeepJobs   []int // nil: all jobs
 }
@@ -21,7 +22,7 @@ type Repro struct {
 // Scenario materializes the repro by generating the seed's scenario and
 // applying the keep-masks.
 func (r Repro) Scenario() Scenario {
-	sc := Generate(r.Seed)
+	sc := generate(r.Seed, r.Large)
 	if r.KeepFaults != nil {
 		sc.Faults = pick(sc.Faults, r.KeepFaults)
 	}
@@ -63,10 +64,14 @@ func (r Repro) String() string {
 
 // Command renders the full one-line reproduction command.
 func (r Repro) Command() string {
-	if mask := r.String(); mask != "" {
-		return fmt.Sprintf("dyrs-fuzz -seed %d -repro '%s'", r.Seed, mask)
+	size := ""
+	if r.Large {
+		size = " -large"
 	}
-	return fmt.Sprintf("dyrs-fuzz -seed %d", r.Seed)
+	if mask := r.String(); mask != "" {
+		return fmt.Sprintf("dyrs-fuzz%s -seed %d -repro '%s'", size, r.Seed, mask)
+	}
+	return fmt.Sprintf("dyrs-fuzz%s -seed %d", size, r.Seed)
 }
 
 func joinInts(xs []int) string {
@@ -123,10 +128,11 @@ func ParseRepro(seed int64, s string) (Repro, error) {
 }
 
 // Shrink minimizes a failing seed's scenario while the named oracle
-// keeps failing, and returns the reduced repro. It assumes the full
+// keeps failing, and returns the reduced repro. large selects the
+// generation envelope the seed was drawn from. It assumes the full
 // scenario currently fails that oracle (as reported by CheckScenario).
-func Shrink(seed int64, oracle string) Repro {
-	return ShrinkWith(seed, func(sc Scenario) bool {
+func Shrink(seed int64, large bool, oracle string) Repro {
+	return ShrinkWith(seed, large, func(sc Scenario) bool {
 		for _, f := range CheckScenario(sc) {
 			if f.Oracle == oracle {
 				return true
@@ -140,18 +146,19 @@ func Shrink(seed int64, oracle string) Repro {
 // that first drops faults, then jobs (keeping at least one job), as
 // long as pred still holds on the reduced scenario. Exposed separately
 // so the algorithm is testable with synthetic predicates.
-func ShrinkWith(seed int64, pred func(Scenario) bool) Repro {
-	full := Generate(seed)
+func ShrinkWith(seed int64, large bool, pred func(Scenario) bool) Repro {
+	full := generate(seed, large)
 	r := Repro{
 		Seed:       seed,
+		Large:      large,
 		KeepFaults: seq(len(full.Faults)),
 		KeepJobs:   seq(len(full.Jobs)),
 	}
 	r.KeepFaults = minimize(r.KeepFaults, 0, func(keep []int) bool {
-		return pred(Repro{Seed: seed, KeepFaults: keep, KeepJobs: r.KeepJobs}.Scenario())
+		return pred(Repro{Seed: seed, Large: large, KeepFaults: keep, KeepJobs: r.KeepJobs}.Scenario())
 	})
 	r.KeepJobs = minimize(r.KeepJobs, 1, func(keep []int) bool {
-		return pred(Repro{Seed: seed, KeepFaults: r.KeepFaults, KeepJobs: keep}.Scenario())
+		return pred(Repro{Seed: seed, Large: large, KeepFaults: r.KeepFaults, KeepJobs: keep}.Scenario())
 	})
 	return r
 }

@@ -26,11 +26,33 @@ type Coordinator struct {
 	slaves []*Slave
 	sched  ActiveJobChecker
 
-	info      map[dfs.BlockID]*blockInfo
-	jobBlocks map[JobID]map[dfs.BlockID]bool
+	// info is the master's block-record table, a dense slice indexed by
+	// BlockID (block IDs are small dense integers allocated by the file
+	// system). Untracked blocks hold nil. Indexing replaces the map probe
+	// the per-read and per-request hot paths used to pay.
+	info []*blockInfo
+	// jobBlocks lists the blocks each job has requested, for Evict. The
+	// lists may retain ids whose reference the job already dropped via
+	// implicit eviction — Evict tolerates stale entries, which is cheaper
+	// than deleting from the middle of a slice on every NoteRead.
+	jobBlocks map[JobID][]dfs.BlockID
 	hints     map[JobID]JobHint
 
+	// counts holds the master's incremental per-state block tallies,
+	// indexed by blockState and maintained exclusively by transition().
+	// They are never recomputed by scanning info, so StateCounts stays
+	// O(1) with millions of tracked blocks.
+	counts [stateInMemory + 1]int
+
 	estimates map[cluster.NodeID]nodeEstimate
+	// estEpoch increments whenever a heartbeat actually changes a stored
+	// estimate; the DYRS binder uses it to skip Algorithm 1 passes whose
+	// inputs have not moved.
+	estEpoch uint64
+	// hintEpoch increments whenever scheduler hints change (set or
+	// cleared); ordering policies read hints, so the binder's gate must
+	// treat a hint change as an input change.
+	hintEpoch uint64
 
 	migratedHooks []func(dfs.BlockID, cluster.NodeID, sim.Time)
 
@@ -68,8 +90,7 @@ func NewCoordinator(fs *dfs.FS, cfg Config, binder Binder) *Coordinator {
 		tr:        trace.FromEngine(cl.Engine()),
 		binder:    binder,
 		sched:     alwaysActive{},
-		info:      make(map[dfs.BlockID]*blockInfo),
-		jobBlocks: make(map[JobID]map[dfs.BlockID]bool),
+		jobBlocks: make(map[JobID][]dfs.BlockID),
 		hints:     make(map[JobID]JobHint),
 		estimates: make(map[cluster.NodeID]nodeEstimate),
 	}
@@ -96,6 +117,59 @@ func (c *Coordinator) SetScheduler(s ActiveJobChecker) {
 // Stats returns a copy of the framework counters.
 func (c *Coordinator) Stats() Stats { return c.stats }
 
+// transition moves a tracked block to a new lifecycle state, keeping the
+// master's incremental per-state counts in step. Every state write in
+// the framework goes through here; records detached by a master restart
+// keep their slave-side lifecycle but no longer touch the counts.
+func (c *Coordinator) transition(bi *blockInfo, to blockState) {
+	if bi.state == to {
+		return
+	}
+	if !bi.detached {
+		if bi.state != stateNone {
+			c.counts[bi.state]--
+		}
+		if to != stateNone {
+			c.counts[to]++
+		}
+	}
+	bi.state = to
+}
+
+// StateCounts reports, in O(1), how many master-tracked blocks are in
+// each lifecycle state: awaiting binding, bound in a slave queue, being
+// migrated, and resident in memory.
+func (c *Coordinator) StateCounts() (pending, queued, migrating, inMemory int) {
+	return c.counts[statePending], c.counts[stateQueued], c.counts[stateMigrating], c.counts[stateInMemory]
+}
+
+// blockRecord returns the tracked record for a block, or nil.
+func (c *Coordinator) blockRecord(id dfs.BlockID) *blockInfo {
+	if i := int(id); i < len(c.info) {
+		return c.info[i]
+	}
+	return nil
+}
+
+// setRecord stores a block record, growing the dense table geometrically
+// so tracking n blocks costs O(n) total, not O(n²) copies.
+func (c *Coordinator) setRecord(id dfs.BlockID, bi *blockInfo) {
+	if n := int(id) + 1; n > len(c.info) {
+		if n > cap(c.info) {
+			newCap := 2 * cap(c.info)
+			if newCap < n {
+				newCap = n
+			}
+			grown := make([]*blockInfo, n, newCap)
+			copy(grown, c.info)
+			c.info = grown
+		} else {
+			c.info = c.info[:n]
+		}
+	}
+	c.info[int(id)] = bi
+}
+
 // Binder returns the active binding policy.
 func (c *Coordinator) Binder() Binder { return c.binder }
 
@@ -119,59 +193,54 @@ func (c *Coordinator) Estimate(id cluster.NodeID) (perByteSeconds float64, queue
 // blocks to the binder. Binding may happen now (Ignem) or lazily on
 // slave pulls (DYRS/naive).
 func (c *Coordinator) Migrate(job JobID, files []string, implicitEvict bool) error {
-	blocks, err := c.fs.FileBlocks(files)
+	ids, err := c.fs.FileBlockIDs(files)
 	if err != nil {
 		return fmt.Errorf("migration: %w", err)
 	}
-	if c.jobBlocks[job] == nil {
-		c.jobBlocks[job] = make(map[dfs.BlockID]bool)
-	}
 	var fresh []*blockInfo
-	for _, b := range blocks {
-		c.jobBlocks[job][b.ID] = true
-		bi := c.info[b.ID]
+	for _, id := range ids {
+		bi := c.blockRecord(id)
 		if bi == nil || bi.state == stateNone {
 			if bi == nil {
-				bi = &blockInfo{
-					block:    b,
-					refs:     make(map[JobID]bool),
-					implicit: make(map[JobID]bool),
-				}
-				c.info[b.ID] = bi
+				bi = &blockInfo{id: id, size: c.fs.BlockSize(id)}
+				c.setRecord(id, bi)
 			}
-			if node, ok := c.fs.MemReplica(b.ID); ok {
+			if node, ok := c.fs.MemReplica(id); ok {
 				// The block is already resident — typically because a
 				// master fail-over wiped the reference lists while the
 				// slave-side buffer survived (§III-C1). Re-adopt the
 				// surviving replica instead of migrating a second copy,
 				// which would strand the old one outside any reference
 				// list.
-				bi.state = stateInMemory
+				c.transition(bi, stateInMemory)
 				bi.slave = node
 				c.stats.Readopted++
 				if c.tr.Enabled() {
 					c.tr.Inc("migration.readopted")
 					c.tr.Instant("migration", "readopt", int(node),
 						trace.Int("job", int64(job)),
-						trace.Int("block", int64(b.ID)))
+						trace.Int("block", int64(id)))
 				}
 			} else {
-				bi.state = statePending
+				c.transition(bi, statePending)
 				bi.hasTarget = false
 				c.stats.Requested++
 				if c.tr.Enabled() {
 					bi.span = c.tr.Begin("migration", "migrate", trace.NodeMaster,
 						trace.Int("job", int64(job)),
-						trace.Int("block", int64(b.ID)),
-						trace.Int("size", int64(b.Size)))
+						trace.Int("block", int64(id)),
+						trace.Int("size", int64(bi.size)))
 					c.tr.Inc("migration.requested")
 				}
 				fresh = append(fresh, bi)
 			}
 		}
-		bi.refs[job] = true
+		if !bi.refs.has(job) {
+			bi.refs = append(bi.refs, job)
+			c.jobBlocks[job] = append(c.jobBlocks[job], id)
+		}
 		if implicitEvict {
-			bi.implicit[job] = true
+			bi.implicit.add(job)
 		}
 	}
 	if len(fresh) > 0 {
@@ -193,22 +262,25 @@ func (c *Coordinator) Migrate(job JobID, files []string, implicitEvict bool) err
 // the run — including any recorded trace — is independent of map
 // iteration order.
 func (c *Coordinator) Evict(job JobID) {
-	ids := make([]dfs.BlockID, 0, len(c.jobBlocks[job]))
-	for id := range c.jobBlocks[job] {
-		ids = append(ids, id)
-	}
+	ids := c.jobBlocks[job]
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	for _, id := range ids {
-		bi := c.info[id]
+		bi := c.blockRecord(id)
 		if bi == nil {
 			continue
 		}
-		delete(bi.refs, job)
-		delete(bi.implicit, job)
+		// Stale entries (reference already dropped by implicit eviction)
+		// and duplicates are no-ops here: remove misses and maybeRelease
+		// sees a released record.
+		bi.refs.remove(job)
+		bi.implicit.remove(job)
 		c.maybeRelease(bi)
 	}
 	delete(c.jobBlocks, job)
-	delete(c.hints, job)
+	if _, ok := c.hints[job]; ok {
+		delete(c.hints, job)
+		c.hintEpoch++
+	}
 }
 
 // NoteRead implements Manager. For implicit-eviction jobs the job is
@@ -217,7 +289,7 @@ func (c *Coordinator) Evict(job JobID) {
 // discarded from the migration pipeline if the read beat the migration
 // ("discarded due to missed reads", §IV-A1).
 func (c *Coordinator) NoteRead(job JobID, block dfs.BlockID) {
-	bi := c.info[block]
+	bi := c.blockRecord(block)
 	if bi == nil {
 		return
 	}
@@ -234,12 +306,10 @@ func (c *Coordinator) NoteRead(job JobID, block dfs.BlockID) {
 		// now-pointless migration in the pipeline.
 		return
 	}
-	if bi.implicit[job] {
-		delete(bi.refs, job)
-		delete(bi.implicit, job)
-		if ok := c.jobBlocks[job]; ok != nil {
-			delete(ok, block)
-		}
+	if bi.implicit.has(job) {
+		bi.refs.remove(job)
+		bi.implicit.remove(job)
+		// The id stays in jobBlocks[job]; Evict skips the stale entry.
 		c.maybeRelease(bi)
 	}
 }
@@ -252,12 +322,12 @@ func (c *Coordinator) maybeRelease(bi *blockInfo) {
 	switch bi.state {
 	case statePending:
 		c.binder.Remove(bi)
-		bi.state = stateNone
+		c.transition(bi, stateNone)
 		c.stats.Dropped++
 		c.dropTrace(bi, "released-pending")
 	case stateQueued:
 		c.slaves[int(bi.slave)].dequeue(bi)
-		bi.state = stateNone
+		c.transition(bi, stateNone)
 		c.stats.Dropped++
 		c.dropTrace(bi, "released-queued")
 	case stateMigrating:
@@ -269,7 +339,7 @@ func (c *Coordinator) maybeRelease(bi *blockInfo) {
 			// not, and "discarded due to missed reads" (§IV-A1) extends
 			// naturally to the active transfer (munmap releases it).
 			c.slaves[int(bi.slave)].abortActive(bi)
-			bi.state = stateNone
+			c.transition(bi, stateNone)
 			c.stats.Dropped++
 			c.dropTrace(bi, "missed-read")
 			return
@@ -277,8 +347,8 @@ func (c *Coordinator) maybeRelease(bi *blockInfo) {
 		// Policies without missed-read handling let the migration
 		// finish; completion sees the empty list and evicts immediately.
 	case stateInMemory:
-		c.fs.DropMem(bi.block.ID, bi.slave)
-		bi.state = stateNone
+		c.fs.DropMem(bi.id, bi.slave)
+		c.transition(bi, stateNone)
 		c.stats.Evicted++
 	}
 }
@@ -292,19 +362,25 @@ func (c *Coordinator) dropTrace(bi *blockInfo, reason string) {
 	}
 }
 
-// onHeartbeat records a slave's estimate for the binder's use.
+// onHeartbeat records a slave's estimate for the binder's use. The
+// estimate epoch only advances when the stored value actually changes,
+// so an idle fleet's heartbeats do not force binder passes.
 func (c *Coordinator) onHeartbeat(n cluster.NodeID, perByte float64, queued int) {
-	c.estimates[n] = nodeEstimate{perByte: perByte, queued: queued}
+	e := nodeEstimate{perByte: perByte, queued: queued}
+	if c.estimates[n] != e {
+		c.estimates[n] = e
+		c.estEpoch++
+	}
 }
 
 // onMigrated finalizes a completed migration.
 func (c *Coordinator) onMigrated(bi *blockInfo, at cluster.NodeID) {
-	bi.state = stateInMemory
+	c.transition(bi, stateInMemory)
 	bi.slave = at
 	c.stats.Migrated++
-	c.stats.BytesMigrated += bi.block.Size
+	c.stats.BytesMigrated += bi.size
 	for _, fn := range c.migratedHooks {
-		fn(bi.block.ID, at, c.eng.Now())
+		fn(bi.id, at, c.eng.Now())
 	}
 	c.maybeRelease(bi) // evicts right away if every reader already came and went
 }
@@ -321,27 +397,31 @@ func (c *Coordinator) OnMigrated(fn func(block dfs.BlockID, node cluster.NodeID,
 // jobs finish.
 func (c *Coordinator) RestartMaster() {
 	c.binder.Reset()
-	// Walk the tracked blocks in ID order so the trace (span ends, drop
-	// counters) is independent of map iteration order.
-	ids := make([]dfs.BlockID, 0, len(c.info))
-	for id := range c.info {
-		ids = append(ids, id)
-	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	for _, id := range ids {
-		bi := c.info[id]
+	// The dense info table walks in block-ID order by construction, so
+	// the trace (span ends, drop counters) is deterministic.
+	for _, bi := range c.info {
+		if bi == nil {
+			continue
+		}
 		switch bi.state {
 		case statePending:
-			bi.state = stateNone
+			c.transition(bi, stateNone)
 			c.stats.Dropped++
 			c.dropTrace(bi, "master-restart")
 		case stateQueued, stateMigrating, stateInMemory:
 			// Slave-side state persists; the new master relearns it as
-			// slaves heartbeat and scavenge.
+			// slaves heartbeat and scavenge. The record leaves the
+			// master's books (and its incremental counts) now; detaching
+			// it keeps later slave-side transitions from double-counting
+			// against a re-adopted successor record.
+			if !bi.detached {
+				c.counts[bi.state]--
+				bi.detached = true
+			}
 		}
 	}
-	c.info = make(map[dfs.BlockID]*blockInfo)
-	c.jobBlocks = make(map[JobID]map[dfs.BlockID]bool)
+	c.info = nil
+	c.jobBlocks = make(map[JobID][]dfs.BlockID)
 }
 
 // RestartSlaveProcess simulates a slave process crash + restart: the
@@ -350,7 +430,7 @@ func (c *Coordinator) RestartMaster() {
 func (c *Coordinator) RestartSlaveProcess(id cluster.NodeID) {
 	s := c.slaves[int(id)]
 	for _, bi := range s.queue {
-		bi.state = stateNone
+		c.transition(bi, stateNone)
 		c.stats.Dropped++
 		c.dropTrace(bi, "slave-restart")
 	}
@@ -361,7 +441,7 @@ func (c *Coordinator) RestartSlaveProcess(id cluster.NodeID) {
 	for bi := range s.active {
 		actives = append(actives, bi)
 	}
-	sort.Slice(actives, func(i, j int) bool { return actives[i].block.ID < actives[j].block.ID })
+	sort.Slice(actives, func(i, j int) bool { return actives[i].id < actives[j].id })
 	for _, bi := range actives {
 		am := s.active[bi]
 		if am.flow != nil {
@@ -371,17 +451,16 @@ func (c *Coordinator) RestartSlaveProcess(id cluster.NodeID) {
 			am.span.End(trace.Str("outcome", "aborted"))
 			c.tr.Inc("migration.aborted")
 		}
-		bi.state = stateNone
+		c.transition(bi, stateNone)
 		c.stats.Dropped++
 		c.dropTrace(bi, "slave-restart")
 	}
 	s.active = make(map[*blockInfo]*activeMigration)
 	// Blocks buffered in memory on this node are gone.
-	for blockID, bi := range c.info {
-		if bi.state == stateInMemory && bi.slave == id {
-			bi.state = stateNone
+	for _, bi := range c.info {
+		if bi != nil && bi.state == stateInMemory && bi.slave == id {
+			c.transition(bi, stateNone)
 			c.stats.Evicted++
-			_ = blockID
 		}
 	}
 	c.fs.DropAllMem(id)
@@ -427,7 +506,8 @@ func (c *Coordinator) QueuedBlocks() int {
 
 // EstimateSeries returns the recorded migration-time-estimate time series
 // for a slave (seconds to migrate one standard block, sampled each
-// heartbeat) — the data behind Fig. 9.
+// heartbeat) — the data behind Fig. 9. Nil when recording is disabled
+// via Config.DisableEstimateSeries.
 func (c *Coordinator) EstimateSeries(id cluster.NodeID) *metrics.TimeSeries {
 	return c.slaves[int(id)].estSeries
 }

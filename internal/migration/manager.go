@@ -130,6 +130,11 @@ type Config struct {
 	// inflation, reverting to the paper's "earlier prototype" that only
 	// updated estimates on migration completion — kept as an ablation.
 	DisableInProgressUpdates bool
+	// DisableEstimateSeries turns off the per-slave estimate time series
+	// recorded every heartbeat (the data behind Fig. 9). The series grows
+	// with virtual time × node count; the datacenter-scale experiments
+	// disable it to keep days of virtual time at 10k nodes bounded.
+	DisableEstimateSeries bool
 	// Order selects how the master orders pending migrations across
 	// jobs: the paper's FIFO, or the future-work policies SJF and EDF
 	// (scheduler-cooperative earliest-deadline-first).
@@ -213,16 +218,65 @@ func (s blockState) String() string {
 	return "none"
 }
 
-// blockInfo is the coordinator's record for one requested block.
+// jobSet is a small set of job IDs stored as an unsorted slice. A block
+// is referenced by one or two jobs in practice, so linear scans win —
+// and, unlike the two per-block maps this replaces, the representation
+// adds no extra heap objects for the GC to trace when the master tracks
+// millions of blocks. All consumers (hint aggregation, scavenging) are
+// order-independent, so the unsorted swap-remove is safe.
+type jobSet []JobID
+
+// has reports membership.
+func (s jobSet) has(j JobID) bool {
+	for _, v := range s {
+		if v == j {
+			return true
+		}
+	}
+	return false
+}
+
+// add inserts j if absent.
+func (s *jobSet) add(j JobID) {
+	if !s.has(j) {
+		*s = append(*s, j)
+	}
+}
+
+// remove deletes j if present by swapping the last element into its slot.
+func (s *jobSet) remove(j JobID) {
+	for i, v := range *s {
+		if v == j {
+			(*s)[i] = (*s)[len(*s)-1]
+			*s = (*s)[:len(*s)-1]
+			return
+		}
+	}
+}
+
+// blockInfo is the coordinator's record for one requested block. It
+// carries the block's id and size directly (not a catalog view): at
+// datacenter scale the master tracks up to millions of these, and the
+// id+size pair is all the migration pipeline ever needs.
 type blockInfo struct {
-	block      *dfs.Block
+	id         dfs.BlockID
+	size       sim.Bytes
 	state      blockState
-	refs       map[JobID]bool
-	implicit   map[JobID]bool
+	refs       jobSet
+	implicit   jobSet
 	slave      cluster.NodeID // binding location once queued
 	target     cluster.NodeID // Algorithm 1 target while pending
 	hasTarget  bool
 	enqueuedAt sim.Time
+	// detached marks a record the master forgot in a fail-over while the
+	// slave side kept running; its later transitions no longer touch the
+	// master's incremental state counts (see Coordinator.transition).
+	detached bool
+	// inPending marks a live entry in the DYRS binder's pending list.
+	// The list is compacted lazily (entries are tombstoned on bind or
+	// removal, reclaimed in bulk), so the flag — not list membership —
+	// is the source of truth for "still awaiting binding".
+	inPending bool
 	// span is the block's migration lifecycle trace span, opened at the
 	// Migrate request and closed at pin, drop or abort. Zero (no-op)
 	// when the run is untraced.

@@ -229,7 +229,7 @@ func TestMissedReadCancelsPendingMigration(t *testing.T) {
 	if st.MissedReads != 1 {
 		t.Errorf("missed reads = %d", st.MissedReads)
 	}
-	if bi := r.c.info[lastID]; bi.state == statePending || bi.state == stateQueued {
+	if bi := r.c.blockRecord(lastID); bi.state == statePending || bi.state == stateQueued {
 		t.Errorf("missed-read block still %v", bi.state)
 	}
 	if after >= before {
@@ -473,17 +473,18 @@ func TestAlgorithm1TargetsAreReplicas(t *testing.T) {
 	b.UpdateTargets()
 	for _, bi := range b.pending {
 		if !bi.hasTarget {
-			t.Fatalf("block %d has no target", bi.block.ID)
+			t.Fatalf("block %d has no target", bi.id)
 		}
+		replicas := r.fs.Replicas(bi.id)
 		found := false
-		for _, loc := range bi.block.Replicas {
+		for _, loc := range replicas {
 			if loc == bi.target {
 				found = true
 			}
 		}
 		if !found {
 			t.Fatalf("block %d targeted to non-replica %v (replicas %v)",
-				bi.block.ID, bi.target, bi.block.Replicas)
+				bi.id, bi.target, replicas)
 		}
 	}
 	r.c.Shutdown()

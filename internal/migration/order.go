@@ -59,6 +59,7 @@ type HintSink interface {
 // SetJobHint implements HintSink on the Coordinator.
 func (c *Coordinator) SetJobHint(job JobID, hint JobHint) {
 	c.hints[job] = hint
+	c.hintEpoch++
 }
 
 // hintFor aggregates hints over all jobs referencing a block: the
@@ -66,7 +67,7 @@ func (c *Coordinator) SetJobHint(job JobID, hint JobHint) {
 // makes the block more urgent.
 func (c *Coordinator) hintFor(bi *blockInfo) (start sim.Time, bytes sim.Bytes) {
 	first := true
-	for job := range bi.refs {
+	for _, job := range bi.refs {
 		h, ok := c.hints[job]
 		if !ok {
 			continue

@@ -24,7 +24,7 @@ func TestHintForAggregation(t *testing.T) {
 	r.c.SetJobHint(1, JobHint{ExpectedStart: sim.Time(20 * time.Second), InputBytes: 1 * sim.GB})
 	r.c.SetJobHint(2, JobHint{ExpectedStart: sim.Time(5 * time.Second), InputBytes: 8 * sim.GB})
 	blocks, _ := r.fs.FileBlocks([]string{"shared"})
-	bi := r.c.info[blocks[0].ID]
+	bi := r.c.blockRecord(blocks[0].ID)
 	start, bytes := r.c.hintFor(bi)
 	if start != sim.Time(5*time.Second) {
 		t.Errorf("start = %v, want 5s (earliest)", start)
@@ -40,7 +40,7 @@ func TestHintForUnhinted(t *testing.T) {
 	r.mkFile(t, "f", 1)
 	r.c.Migrate(1, []string{"f"}, false)
 	blocks, _ := r.fs.FileBlocks([]string{"f"})
-	start, bytes := r.c.hintFor(r.c.info[blocks[0].ID])
+	start, bytes := r.c.hintFor(r.c.blockRecord(blocks[0].ID))
 	if start != 0 {
 		t.Errorf("unhinted start = %v, want 0 (urgent)", start)
 	}
@@ -62,7 +62,7 @@ func TestSJFOrdersSmallJobsFirst(t *testing.T) {
 	r.c.SetJobHint(2, JobHint{InputBytes: 256 * sim.MB})
 	b := r.c.binder.(*DYRSBinder)
 	b.UpdateTargets()
-	if got := b.pending[0].block.File; got != "small" {
+	if got := r.fs.Block(b.pending[0].id).File; got != "small" {
 		t.Errorf("SJF head of pending = %s, want small", got)
 	}
 }
@@ -80,7 +80,7 @@ func TestEDFOrdersEarliestDeadlineFirst(t *testing.T) {
 	r.c.SetJobHint(2, JobHint{ExpectedStart: sim.Time(3 * time.Second)})
 	b := r.c.binder.(*DYRSBinder)
 	b.UpdateTargets()
-	if got := b.pending[0].block.File; got != "soon" {
+	if got := r.fs.Block(b.pending[0].id).File; got != "soon" {
 		t.Errorf("EDF head of pending = %s, want soon", got)
 	}
 }
@@ -96,7 +96,7 @@ func TestFIFOKeepsArrivalOrder(t *testing.T) {
 	r.c.SetJobHint(2, JobHint{InputBytes: sim.MB, ExpectedStart: 0})
 	b := r.c.binder.(*DYRSBinder)
 	b.UpdateTargets()
-	if got := b.pending[0].block.File; got != "first" {
+	if got := r.fs.Block(b.pending[0].id).File; got != "first" {
 		t.Errorf("FIFO head = %s, want first (hints must be ignored)", got)
 	}
 }

@@ -88,7 +88,9 @@ func newSlave(c *Coordinator, node *cluster.Node) *Slave {
 		depth:     c.cfg.queueDepth(c.fs.Config().BlockSize, node.Cfg.DiskBandwidth),
 		memLimit:  sim.Bytes(c.cfg.MemLimitFraction * float64(node.Cfg.MemCapacity)),
 		maxActive: maxActive,
-		estSeries: metrics.NewTimeSeries(node.ID.String()),
+	}
+	if !c.cfg.DisableEstimateSeries {
+		s.estSeries = metrics.NewTimeSeries(node.ID.String())
 	}
 	s.ticker = sim.NewTicker(c.eng, c.cfg.Heartbeat, s.tick)
 	return s
@@ -129,16 +131,18 @@ func (s *Slave) tick() {
 		var worstElapsed float64
 		for bi, am := range s.active {
 			elapsed := s.c.eng.Now().Sub(am.started).Seconds()
-			if elapsed > s.estimator.blockSeconds(bi.block.Size) && elapsed > worstElapsed {
+			if elapsed > s.estimator.blockSeconds(bi.size) && elapsed > worstElapsed {
 				worst, worstElapsed = bi, elapsed
 			}
 		}
 		if worst != nil {
-			s.estimator.observe(worstElapsed, worst.block.Size)
+			s.estimator.observe(worstElapsed, worst.size)
 		}
 	}
 	s.c.onHeartbeat(s.node.ID, s.estimator.perByte(), s.occupancy())
-	s.estSeries.Record(s.c.eng.Now().Seconds(), s.estimator.blockSeconds(s.c.fs.Config().BlockSize))
+	if s.estSeries != nil {
+		s.estSeries.Record(s.c.eng.Now().Seconds(), s.estimator.blockSeconds(s.c.fs.Config().BlockSize))
+	}
 
 	if used := s.c.fs.DataNode(s.node.ID).MemUsed(); float64(used) > s.c.cfg.ScavengeThreshold*float64(s.memLimit) {
 		s.scavenge()
@@ -165,7 +169,7 @@ func (s *Slave) pull() {
 
 // enqueue binds a block to this slave's local queue.
 func (s *Slave) enqueue(bi *blockInfo) {
-	bi.state = stateQueued
+	s.c.transition(bi, stateQueued)
 	bi.slave = s.node.ID
 	bi.enqueuedAt = s.c.eng.Now()
 	s.queue = append(s.queue, bi)
@@ -173,7 +177,7 @@ func (s *Slave) enqueue(bi *blockInfo) {
 		bi.span.Annotate(trace.Int("slave", int64(s.node.ID)),
 			trace.Dur("bound-after", s.c.eng.Now().Sub(bi.span.Begin())))
 		tr.Instant("migration", "bind", int(s.node.ID),
-			trace.Int("block", int64(bi.block.ID)))
+			trace.Int("block", int64(bi.id)))
 	}
 }
 
@@ -195,7 +199,7 @@ func (s *Slave) kick() {
 	for len(s.active) < s.maxActive && len(s.queue) > 0 {
 		next := s.queue[0]
 		dn := s.c.fs.DataNode(s.node.ID)
-		if dn.MemUsed()+next.block.Size > s.memLimit {
+		if dn.MemUsed()+next.size > s.memLimit {
 			// Hard limit reached: leave the command queued until buffer
 			// space frees up or the block is discarded on a missed read
 			// (§IV-A1).
@@ -203,23 +207,23 @@ func (s *Slave) kick() {
 			return
 		}
 		s.queue = s.queue[1:]
-		next.state = stateMigrating
+		s.c.transition(next, stateMigrating)
 		am := &activeMigration{started: s.c.eng.Now()}
 		s.active[next] = am
 		if tr := s.c.tr; tr.Enabled() {
 			am.span = next.span.Child("migration", "transfer", int(s.node.ID),
-				trace.Int("block", int64(next.block.ID)),
-				trace.Int("size", int64(next.block.Size)),
+				trace.Int("block", int64(next.id)),
+				trace.Int("size", int64(next.size)),
 				trace.Float("io-weight", s.c.cfg.IOWeight))
 		}
-		flow, err := dn.MigrateToMemory(next.block.ID, s.c.cfg.IOWeight, func(d sim.Duration) {
+		flow, err := dn.MigrateToMemory(next.id, s.c.cfg.IOWeight, func(d sim.Duration) {
 			s.finish(next, d)
 		})
 		if err != nil {
 			// Bound to a node that no longer holds a replica (should not
 			// happen with a correct binder); drop the migration.
 			delete(s.active, next)
-			next.state = stateNone
+			s.c.transition(next, stateNone)
 			s.c.stats.Dropped++
 			if tr := s.c.tr; tr.Enabled() {
 				am.span.End(trace.Str("outcome", "failed"))
@@ -234,16 +238,16 @@ func (s *Slave) kick() {
 // finish completes an active migration: update the estimator with the
 // true duration, publish the in-memory replica, and continue.
 func (s *Slave) finish(bi *blockInfo, d sim.Duration) {
-	s.estimator.observe(d.Seconds(), bi.block.Size)
+	s.estimator.observe(d.Seconds(), bi.size)
 	s.Migrations++
-	s.BytesMigrated += bi.block.Size
+	s.BytesMigrated += bi.size
 	if tr := s.c.tr; tr.Enabled() {
 		if am := s.active[bi]; am != nil {
 			am.span.End(trace.Str("outcome", "completed"))
 		}
 		bi.span.End(trace.Str("outcome", "pinned"), trace.Int("slave", int64(s.node.ID)))
 		tr.Inc("migration.completed")
-		tr.Add("migration.bytes", bi.block.Size)
+		tr.Add("migration.bytes", bi.size)
 	}
 	delete(s.active, bi)
 	s.c.onMigrated(bi, s.node.ID)
@@ -277,7 +281,7 @@ func (s *Slave) abortActive(bi *blockInfo) {
 // instead of occupying the buffer forever.
 func (s *Slave) scavenge() {
 	for _, id := range s.c.fs.DataNode(s.node.ID).MemBlockIDs() {
-		bi := s.c.info[id]
+		bi := s.c.blockRecord(id)
 		if bi == nil || bi.state != stateInMemory || bi.slave != s.node.ID {
 			// Resident but unreferenced by the master: an orphan left by a
 			// restart. Drop the buffer directly.
@@ -285,10 +289,15 @@ func (s *Slave) scavenge() {
 			s.c.stats.Evicted++
 			continue
 		}
-		for job := range bi.refs {
+		// Walk by index; remove swaps the last element into the hole, so
+		// the index is only advanced when the current entry survives.
+		for i := 0; i < len(bi.refs); {
+			job := bi.refs[i]
 			if !s.c.sched.JobActive(job) {
-				delete(bi.refs, job)
-				delete(bi.implicit, job)
+				bi.refs.remove(job)
+				bi.implicit.remove(job)
+			} else {
+				i++
 			}
 		}
 		s.c.maybeRelease(bi)

@@ -62,12 +62,19 @@ func eventLess(a, b *Event) bool {
 	return a.seq < b.seq
 }
 
-// eventQueue is a binary min-heap specialized to *Event. Hand-rolling it
+// eventQueue is a 4-ary min-heap specialized to *Event. Hand-rolling it
 // (instead of container/heap) removes interface dispatch and any-boxing
 // from the hottest loop in the simulator, and lazy cancellation means no
 // remove-by-index is ever needed, so sifting uses cheap hole moves with a
-// single final write instead of index-maintaining swaps.
+// single final write instead of index-maintaining swaps. The fan-out of
+// 4 (rather than 2) halves the tree depth — at the datacenter-scale
+// presets the queue holds 10^6-10^7 events, where the shallower,
+// cache-friendlier sift is measurably faster than a binary heap — while
+// keeping the same strict (time, seq) pop order.
 type eventQueue []*Event
+
+// heapArity is the heap fan-out; pop order is arity-independent.
+const heapArity = 4
 
 func (q *eventQueue) push(ev *Event) {
 	ev.queued = true
@@ -95,7 +102,7 @@ func (q *eventQueue) popMin() *Event {
 func (q eventQueue) siftUp(i int) {
 	ev := q[i]
 	for i > 0 {
-		parent := (i - 1) / 2
+		parent := (i - 1) / heapArity
 		if !eventLess(ev, q[parent]) {
 			break
 		}
@@ -109,18 +116,25 @@ func (q eventQueue) siftDown(i int) {
 	n := len(q)
 	ev := q[i]
 	for {
-		child := 2*i + 1
-		if child >= n {
+		first := heapArity*i + 1
+		if first >= n {
 			break
 		}
-		if r := child + 1; r < n && eventLess(q[r], q[child]) {
-			child = r
+		last := first + heapArity
+		if last > n {
+			last = n
 		}
-		if !eventLess(q[child], ev) {
+		min := first
+		for c := first + 1; c < last; c++ {
+			if eventLess(q[c], q[min]) {
+				min = c
+			}
+		}
+		if !eventLess(q[min], ev) {
 			break
 		}
-		q[i] = q[child]
-		i = child
+		q[i] = q[min]
+		i = min
 	}
 	q[i] = ev
 }
@@ -128,7 +142,10 @@ func (q eventQueue) siftDown(i int) {
 // reinit restores the heap invariant after bulk filtering (Floyd's
 // heap-construction, O(n)).
 func (q eventQueue) reinit() {
-	for i := len(q)/2 - 1; i >= 0; i-- {
+	if len(q) < 2 {
+		return
+	}
+	for i := (len(q) - 2) / heapArity; i >= 0; i-- {
 		q.siftDown(i)
 	}
 }
@@ -271,10 +288,18 @@ func (e *Engine) compact() {
 	e.events.reinit()
 }
 
+// maxFreeEvents caps the recycled-event pool. Without a cap, a burst of
+// queued events (datacenter-scale runs hold 10^6-10^7 at once) would pin
+// that many Event structs in the pool forever after it drains; beyond the
+// cap, drained events are left to the garbage collector.
+const maxFreeEvents = 1 << 16
+
 // release returns a popped or compacted-away event to the free pool.
 func (e *Engine) release(ev *Event) {
 	ev.fn = nil
-	e.free = append(e.free, ev)
+	if len(e.free) < maxFreeEvents {
+		e.free = append(e.free, ev)
+	}
 }
 
 // skimDead pops tombstoned events off the head of the queue without
