@@ -10,6 +10,7 @@
 package dyrs_test
 
 import (
+	"runtime"
 	"testing"
 	"time"
 
@@ -744,3 +745,52 @@ func BenchmarkScale10k(b *testing.B) {
 	}
 	benchScale(b, experiments.Scale10kOptions(benchSeed))
 }
+
+// --- Sharded-engine macro-benchmarks ---
+
+// scaleShard1Ns remembers the 1-worker median of the scaleshard1k
+// preset so the wider runs can report their speedup against it. The
+// benchmarks run in definition order, so when the full family is
+// selected the baseline is always measured first; under a filter that
+// skips the 1-worker run the speedup metric is simply omitted.
+var scaleShard1Ns float64
+
+// benchScaleShard runs the scaleshard1k preset on the sharded engine
+// with the given execution-worker count. Reported metrics: events/sec
+// (throughput), sys-MiB (peak OS-claimed memory) and, for workers > 1,
+// speedup-vs-1. The row's digest is worker-invariant, so any scheduling
+// nondeterminism the race detector misses would still show up here as a
+// digest panic in the experiment's end-of-run invariants.
+func benchScaleShard(b *testing.B, workers int) {
+	opts := experiments.ScaleShard1kOptions(benchSeed)
+	opts.Workers = workers
+	b.ReportAllocs()
+	var events uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		row, err := experiments.RunScaleShard(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		events += row.EventsFired
+	}
+	b.StopTimer()
+	secs := b.Elapsed().Seconds()
+	if secs > 0 {
+		b.ReportMetric(float64(events)/secs, "events/sec")
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	b.ReportMetric(float64(ms.Sys)/(1<<20), "sys-MiB")
+	nsPerOp := secs * 1e9 / float64(b.N)
+	if workers == 1 {
+		scaleShard1Ns = nsPerOp
+	} else if scaleShard1Ns > 0 && nsPerOp > 0 {
+		b.ReportMetric(scaleShard1Ns/nsPerOp, "speedup-vs-1")
+	}
+}
+
+func BenchmarkScale1kShards1(b *testing.B) { benchScaleShard(b, 1) }
+func BenchmarkScale1kShards2(b *testing.B) { benchScaleShard(b, 2) }
+func BenchmarkScale1kShards4(b *testing.B) { benchScaleShard(b, 4) }
+func BenchmarkScale1kShards8(b *testing.B) { benchScaleShard(b, 8) }

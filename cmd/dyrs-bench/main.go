@@ -21,12 +21,17 @@
 // machine-checked invariant.
 //
 // -bench times every experiment -benchreps times and writes a canonical
-// timing document (schema dyrs-bench/v1) to -benchout (default
+// timing document (schema dyrs-bench/v3) to -benchout (default
 // BENCH.json), which CI uploads per PR so suite-level performance
-// regressions are visible next to the Go microbenchmarks.
+// regressions are visible next to the Go microbenchmarks. The macro
+// pass includes the sharded-engine scaleshard1k preset; -shards sets
+// its execution-worker count (0: GOMAXPROCS).
 //
 // -cpuprofile/-memprofile write pprof profiles of whatever mode ran,
-// for digging into where simulation time and memory actually go.
+// for digging into where simulation time and memory actually go;
+// -mutexprofile/-blockprofile add contention profiles, the tools for
+// judging how much wall-clock the sharded engine's window barriers
+// actually cost.
 package main
 
 import (
@@ -53,9 +58,12 @@ func run() int {
 	bench := flag.Bool("bench", false, "time every experiment and write a canonical timing document to -benchout")
 	benchOut := flag.String("benchout", "BENCH.json", "output path for the -bench timing document")
 	benchReps := flag.Int("benchreps", 3, "repetitions per experiment for -bench")
-	benchMacro := flag.Bool("macro", true, "with -bench, also run the datacenter-scale macro presets (scale100, scale1k)")
+	benchMacro := flag.Bool("macro", true, "with -bench, also run the datacenter-scale macro presets (scale100, scale1k, scaleshard1k)")
+	shards := flag.Int("shards", 0, "execution workers for the sharded-engine macro preset (0 = GOMAXPROCS)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
+	mutexProfile := flag.String("mutexprofile", "", "write a mutex contention profile to this file on exit")
+	blockProfile := flag.String("blockprofile", "", "write a goroutine blocking profile to this file on exit")
 	quiet := flag.Bool("q", false, "suppress per-experiment progress on stderr")
 	list := flag.Bool("list", false, "list experiment names and exit")
 	flag.Parse()
@@ -108,6 +116,30 @@ func run() int {
 			}
 		}()
 	}
+	// Contention profiling must be switched on before any workload runs;
+	// rate 1 records every event, affordable because simulation work is
+	// long-running relative to its synchronization.
+	writeLookup := func(path, name string) {
+		f, err := os.Create(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dyrs-bench:", err)
+			code = 1
+			return
+		}
+		defer f.Close()
+		if err := pprof.Lookup(name).WriteTo(f, 0); err != nil {
+			fmt.Fprintln(os.Stderr, "dyrs-bench:", err)
+			code = 1
+		}
+	}
+	if *mutexProfile != "" {
+		runtime.SetMutexProfileFraction(1)
+		defer writeLookup(*mutexProfile, "mutex")
+	}
+	if *blockProfile != "" {
+		runtime.SetBlockProfileRate(1)
+		defer writeLookup(*blockProfile, "block")
+	}
 
 	selected, sel, err := experiments.Select(*only)
 	if err != nil {
@@ -133,7 +165,7 @@ func run() int {
 		if *only != "" {
 			fmt.Fprintln(os.Stderr, "dyrs-bench: -bench always times every experiment; ignoring -only")
 		}
-		rep, err := experiments.RunBench(*seed, *benchReps, *jobs, *benchMacro, progress)
+		rep, err := experiments.RunBench(*seed, *benchReps, *jobs, *shards, *benchMacro, progress)
 		if err != nil {
 			return fail(err)
 		}
@@ -243,8 +275,12 @@ func printBench(rep *experiments.BenchReport, path string) {
 			row.Name, row.MinSeconds, row.MeanSeconds, row.MaxSeconds)
 	}
 	for _, m := range rep.Macro {
-		fmt.Printf("  %-12s %d nodes, %d blocks: %.1fs, %.2fM events/sec, %.0f MiB sys\n",
-			m.Scenario, m.Nodes, m.Blocks, m.Seconds, m.EventsPerSec/1e6, m.PeakSysMiB)
+		detail := fmt.Sprintf("%d blocks", m.Blocks)
+		if m.Shards > 0 {
+			detail = fmt.Sprintf("%d shards, %d workers", m.Shards, m.Workers)
+		}
+		fmt.Printf("  %-12s %d nodes, %s: %.1fs, %.2fM events/sec, %.0f MiB sys\n",
+			m.Scenario, m.Nodes, detail, m.Seconds, m.EventsPerSec/1e6, m.PeakSysMiB)
 	}
 	fmt.Printf("total %.2fs wall-clock; wrote %s\n", rep.TotalSeconds, path)
 }

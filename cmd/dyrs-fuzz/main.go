@@ -1,19 +1,27 @@
 // Command dyrs-fuzz sweeps randomized scenarios through the fuzzing
 // harness (internal/harness): each seed generates a cluster topology, a
 // mixed workload and a fault schedule, runs it under DYRS twice and
-// under plain HDFS once, and checks the invariant, conservation,
-// liveness, metamorphic and determinism oracles.
+// under plain HDFS once (plus once more on the sharded multi-core
+// engine when a shard count is in play), and checks the invariant,
+// conservation, liveness, metamorphic, determinism and shard-invariance
+// oracles.
 //
 // Examples:
 //
 //	dyrs-fuzz -seeds 200                 # sweep seeds 1..200 in parallel
 //	dyrs-fuzz -seeds 20 -large           # datacenter-shaped topologies (64-256 nodes)
 //	dyrs-fuzz -seed 17                   # check one seed, verbosely
+//	dyrs-fuzz -seed 17 -shards 4         # ... with the 4-shard invariance run
 //	dyrs-fuzz -seed 17 -repro 'faults=0;jobs=1'   # replay a shrunk repro
+//
+// By default a sweep rotates the shard-invariance run over shard counts
+// {1, 2, 4} by seed, so every sweep differentially tests the sharded
+// engine against the sequential one at no extra flag cost; -shards
+// pins the count (1 disables the extra run).
 //
 // On the first failing seed the harness shrinks the scenario (dropping
 // faults, then jobs, while the same oracle keeps failing) and prints a
-// one-line reproduction command.
+// one-line reproduction command carrying the shard count.
 package main
 
 import (
@@ -33,6 +41,20 @@ func main() {
 	}
 }
 
+// shardRotation is the per-seed shard-count schedule a sweep defaults
+// to: most seeds stay purely sequential, every third seed adds a
+// 2- or 4-shard invariance run.
+var shardRotation = [...]int{1, 2, 4}
+
+// shardsForSeed resolves the effective shard count: an explicit
+// -shards value wins, otherwise the sweep rotation applies.
+func shardsForSeed(flagVal int, seed int64) int {
+	if flagVal >= 1 {
+		return flagVal
+	}
+	return shardRotation[int(seed%int64(len(shardRotation)))]
+}
+
 // run is main minus the exit code, so tests can drive the binary
 // in-process.
 func run(args []string, stdout, stderr io.Writer) error {
@@ -44,6 +66,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	jobs := fs.Int("jobs", 0, "parallel scenario checks (<=0: GOMAXPROCS)")
 	repro := fs.String("repro", "", "keep-mask from a shrunk repro, e.g. 'faults=0,2;jobs=1' (requires -seed)")
 	large := fs.Bool("large", false, "draw datacenter-shaped scenarios (64-256 nodes, multi-rack)")
+	shards := fs.Int("shards", 0, "engine shards for the invariance run (0: rotate 1/2/4 by seed, 1: sequential only)")
 	shrink := fs.Bool("shrink", true, "shrink failing scenarios to a minimal repro")
 	verbose := fs.Bool("v", false, "print every scenario as it is checked")
 	if err := fs.Parse(args); err != nil {
@@ -54,16 +77,20 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return fmt.Errorf("-repro requires -seed")
 	}
 	if *seed != 0 {
-		return checkOne(stdout, *seed, *large, *repro, *shrink)
+		return checkOne(stdout, *seed, *large, shardsForSeed(*shards, *seed), *repro, *shrink)
 	}
 
 	type outcome struct {
 		seed     int64
+		shards   int
 		failures []harness.Failure
 	}
+	totalRuns := 0
 	work := make([]runner.Job, *seeds)
 	for i := 0; i < *seeds; i++ {
 		s := *start + int64(i)
+		nshards := shardsForSeed(*shards, s)
+		totalRuns += harness.OracleRunsPerSeed(nshards)
 		work[i] = runner.Job{
 			Name: fmt.Sprintf("seed-%d", s),
 			Run: func() (any, error) {
@@ -71,7 +98,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 				if *large {
 					sc = harness.GenerateLarge(s)
 				}
-				return outcome{seed: s, failures: harness.CheckScenario(sc)}, nil
+				sc.Shards = nshards
+				return outcome{seed: s, shards: nshards, failures: harness.CheckScenario(sc)}, nil
 			},
 		}
 	}
@@ -97,24 +125,25 @@ func run(args []string, stdout, stderr io.Writer) error {
 			continue
 		}
 		failed++
-		reportFailure(stdout, oc.seed, *large, oc.failures, *shrink)
+		reportFailure(stdout, oc.seed, *large, oc.shards, oc.failures, *shrink)
 	}
 	if failed > 0 {
 		return fmt.Errorf("%d of %d seeds failed", failed, *seeds)
 	}
 	fmt.Fprintf(stdout, "ok: %d seeds, %d scenario runs, all oracles passed\n",
-		*seeds, *seeds*3)
+		*seeds, totalRuns)
 	return nil
 }
 
 // checkOne replays a single seed (optionally under a repro keep-mask)
 // and reports in detail.
-func checkOne(stdout io.Writer, seed int64, large bool, mask string, shrink bool) error {
+func checkOne(stdout io.Writer, seed int64, large bool, shards int, mask string, shrink bool) error {
 	rep, err := harness.ParseRepro(seed, mask)
 	if err != nil {
 		return err
 	}
 	rep.Large = large
+	rep.Shards = shards
 	sc := rep.Scenario()
 	fmt.Fprintf(stdout, "scenario: %s\n", sc)
 	for i, j := range sc.Jobs {
@@ -133,13 +162,13 @@ func checkOne(stdout io.Writer, seed int64, large bool, mask string, shrink bool
 		return nil
 	}
 	// A repro replay is already reduced; only shrink the full scenario.
-	reportFailure(stdout, seed, large, failures, shrink && mask == "")
+	reportFailure(stdout, seed, large, shards, failures, shrink && mask == "")
 	return fmt.Errorf("seed %d failed %d oracle check(s)", seed, len(failures))
 }
 
 // reportFailure prints a seed's oracle violations and, when asked, the
 // shrunk reproduction command.
-func reportFailure(stdout io.Writer, seed int64, large bool, failures []harness.Failure, shrink bool) {
+func reportFailure(stdout io.Writer, seed int64, large bool, shards int, failures []harness.Failure, shrink bool) {
 	fmt.Fprintf(stdout, "FAIL seed %d (%d violations):\n", seed, len(failures))
 	for _, f := range failures {
 		fmt.Fprintf(stdout, "  %s\n", f)
@@ -148,6 +177,6 @@ func reportFailure(stdout io.Writer, seed int64, large bool, failures []harness.
 		return
 	}
 	oracle := harness.FailedOracles(failures)[0]
-	rep := harness.Shrink(seed, large, oracle)
+	rep := harness.Shrink(seed, large, shards, oracle)
 	fmt.Fprintf(stdout, "  shrunk to %d event(s); repro: %s\n", rep.Events(), rep.Command())
 }

@@ -8,6 +8,7 @@
 //	dyrs-sim -policy Ignem -workload hive -query q15
 //	dyrs-sim -policy HDFS -size 20 -alternate 10s -interfere 1
 //	dyrs-sim -policy DYRS -size 10 -trace out.json -trace-format perfetto
+//	dyrs-sim -policy DYRS -size 10 -shards 4   # sharded engine, byte-identical output
 package main
 
 import (
@@ -48,6 +49,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	alternate := fs.Duration("alternate", 0, "alternate interference on/off with this period (0: persistent)")
 	workers := fs.Int("workers", 7, "number of worker nodes")
 	seed := fs.Int64("seed", 1, "simulation seed")
+	shards := fs.Int("shards", 1, "engine shards (>1: run on the sharded multi-core engine; output is byte-identical)")
 	showTelemetry := fs.Bool("telemetry", false, "render per-node disk utilization after the run")
 	telemetryCSV := fs.String("telemetry-csv", "", "write raw telemetry samples (disk/NIC/memory series) to this CSV file")
 	tracePath := fs.String("trace", "", "record a trace of the run and write it to this file")
@@ -69,14 +71,15 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 
 	if *wl == "hive" {
-		if *tracePath != "" || *telemetryCSV != "" {
-			return fmt.Errorf("-trace and -telemetry-csv are not supported with the hive workload")
+		if *tracePath != "" || *telemetryCSV != "" || *shards > 1 {
+			return fmt.Errorf("-trace, -telemetry-csv and -shards are not supported with the hive workload")
 		}
 		return runHive(stdout, policy, *query, *seed)
 	}
 
 	opt := dyrs.DefaultOptions(*seed)
 	opt.Workers = *workers
+	opt.Shards = *shards
 	opt.Trace = *tracePath != ""
 	env := dyrs.NewEnv(policy, opt)
 	defer env.Close()

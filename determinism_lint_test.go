@@ -15,6 +15,12 @@ package dyrs
 //     iteration can leak nondeterministic order into event or flow
 //     handling. Layers above sim may use maps but must sort before
 //     emitting ordered output (see Coordinator.Evict).
+//   - concurrency inside internal/sim: goroutines, channels, select, and
+//     the sync/sync/atomic packages. Model code must never race the
+//     virtual clock — the ONLY sanctioned concurrency is the sharded
+//     executor's audited worker pool (internal/sim/shard.go), whose
+//     lines carry a //lint:shardsync waiver. Any new waiver is a signal
+//     the sharding design is changing and deserves review.
 
 import (
 	"fmt"
@@ -31,6 +37,12 @@ import (
 
 // walltimeWaiver marks an intentionally wall-clock time.Now call.
 const walltimeWaiver = "lint:walltime"
+
+// shardsyncWaiver marks an audited concurrency primitive in the sharded
+// executor. Only internal/sim lines carrying this comment may use
+// goroutines, channels, select, or sync — everything else in the sim
+// core stays single-threaded per shard.
+const shardsyncWaiver = "lint:shardsync"
 
 // globalRandFuncs are the math/rand top-level functions backed by the
 // shared global source.
@@ -78,12 +90,17 @@ func lintFile(fset *token.FileSet, path string, file *ast.File) []string {
 		out = append(out, fmt.Sprintf("%s:%d: %s", path, p.Line, fmt.Sprintf(format, args...)))
 	}
 
-	// Lines carrying a walltime waiver comment.
+	// Lines carrying waiver comments, by kind.
 	waived := map[int]bool{}
+	syncWaived := map[int]bool{}
 	for _, cg := range file.Comments {
 		for _, c := range cg.List {
+			line := fset.Position(c.Pos()).Line
 			if strings.Contains(c.Text, walltimeWaiver) {
-				waived[fset.Position(c.Pos()).Line] = true
+				waived[line] = true
+			}
+			if strings.Contains(c.Text, shardsyncWaiver) {
+				syncWaived[line] = true
 			}
 		}
 	}
@@ -110,9 +127,40 @@ func lintFile(fset *token.FileSet, path string, file *ast.File) []string {
 
 	inSim := strings.HasPrefix(filepath.ToSlash(path), "internal/sim/")
 
+	// Concurrency in the sim core needs an explicit audited waiver.
+	syncForbidden := func(pos token.Pos, what string) {
+		if !inSim || syncWaived[fset.Position(pos).Line] {
+			return
+		}
+		report(pos, "%s in internal/sim; model code is single-threaded per shard — audited executor lines carry //%s", what, shardsyncWaiver)
+	}
+	if inSim {
+		for _, imp := range file.Imports {
+			p, _ := strconv.Unquote(imp.Path.Value)
+			if p == "sync" || p == "sync/atomic" {
+				syncForbidden(imp.Pos(), "import of "+p)
+			}
+		}
+	}
+
 	ast.Inspect(file, func(n ast.Node) bool {
 		switch n := n.(type) {
+		case *ast.GoStmt:
+			syncForbidden(n.Pos(), "go statement")
+		case *ast.ChanType:
+			syncForbidden(n.Pos(), "channel type")
+		case *ast.SendStmt:
+			syncForbidden(n.Pos(), "channel send")
+		case *ast.SelectStmt:
+			syncForbidden(n.Pos(), "select statement")
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				syncForbidden(n.Pos(), "channel receive")
+			}
 		case *ast.CallExpr:
+			if id, ok := n.Fun.(*ast.Ident); ok && id.Name == "close" && id.Obj == nil {
+				syncForbidden(n.Pos(), "channel close")
+			}
 			sel, ok := n.Fun.(*ast.SelectorExpr)
 			if !ok {
 				return true

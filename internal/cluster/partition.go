@@ -1,0 +1,100 @@
+package cluster
+
+import (
+	"dyrs/internal/sim"
+)
+
+// Partition maps a cluster onto the logical shards of a
+// sim.ShardedEngine: shard 0 is the control shard (master, namenode,
+// coordinator — everything that must observe global state), and each
+// rack's nodes are homed on one data shard. A shard owns the event
+// queue, Resources, and DataNode state of its partition; everything
+// that crosses a partition edge (heartbeat reports, migration
+// commands, cross-rack flows) must travel as a sim Send with at least
+// the partition lookahead of delay.
+type Partition struct {
+	shards     int
+	shardOf    []int   // node index -> shard
+	rackShard  []int   // rack -> shard
+	shardRacks [][]int // shard -> racks homed on it (empty for shard 0)
+	lookahead  sim.Duration
+}
+
+// PartitionByRack builds the canonical rack partition: shard 0 for the
+// control plane, then racks assigned round-robin over dataShards data
+// shards (so the shard count is tunable independently of the rack
+// count). dataShards is clamped to [1, racks]; the resulting engine
+// needs 1+dataShards shards. lookahead is the minimum cross-partition
+// latency the model guarantees — see MinLookahead for its derivation.
+func PartitionByRack(nodes, racks, dataShards int, lookahead sim.Duration) *Partition {
+	if racks < 1 {
+		panic("cluster: partition needs at least one rack")
+	}
+	if dataShards < 1 {
+		dataShards = 1
+	}
+	if dataShards > racks {
+		dataShards = racks
+	}
+	p := &Partition{
+		shards:     1 + dataShards,
+		shardOf:    make([]int, nodes),
+		rackShard:  make([]int, racks),
+		shardRacks: make([][]int, 1+dataShards),
+		lookahead:  lookahead,
+	}
+	for r := 0; r < racks; r++ {
+		s := 1 + r%dataShards
+		p.rackShard[r] = s
+		p.shardRacks[s] = append(p.shardRacks[s], r)
+	}
+	// Mirror ConfigureRacks' round-robin node->rack assignment.
+	for i := 0; i < nodes; i++ {
+		p.shardOf[i] = p.rackShard[i%racks]
+	}
+	return p
+}
+
+// Shards reports the total logical shard count (control shard + data
+// shards) — the value to pass to sim.NewShardedEngine.
+func (p *Partition) Shards() int { return p.shards }
+
+// ControlShard is the shard index of the control plane (always 0).
+func (p *Partition) ControlShard() int { return 0 }
+
+// NodeShard reports the shard a node is homed on.
+func (p *Partition) NodeShard(id NodeID) int { return p.shardOf[int(id)] }
+
+// RackShard reports the shard a rack is homed on.
+func (p *Partition) RackShard(rack int) int { return p.rackShard[rack] }
+
+// ShardRacks returns the racks homed on a shard (empty for the control
+// shard). Callers must not mutate the returned slice.
+func (p *Partition) ShardRacks(shard int) []int { return p.shardRacks[shard] }
+
+// Lookahead reports the partition's cross-shard latency floor.
+func (p *Partition) Lookahead() sim.Duration { return p.lookahead }
+
+// MinLookahead derives a safe conservative-synchronization lookahead
+// from the model's cross-partition latencies: every interaction that
+// crosses a partition edge is at least as slow as the fastest of the
+// control-plane RPC turnaround, the network propagation delay, and the
+// heartbeat interval — so the smallest positive one bounds how far a
+// shard may run ahead of its neighbors without missing an incoming
+// message. Zero values mean "that channel doesn't exist in this
+// model"; at least one latency must be positive.
+func MinLookahead(rpcLatency, linkDelay, heartbeat sim.Duration) sim.Duration {
+	min := sim.Duration(0)
+	for _, d := range []sim.Duration{rpcLatency, linkDelay, heartbeat} {
+		if d <= 0 {
+			continue
+		}
+		if min == 0 || d < min {
+			min = d
+		}
+	}
+	if min == 0 {
+		panic("cluster: no positive cross-partition latency to derive lookahead from")
+	}
+	return min
+}

@@ -11,8 +11,9 @@ import (
 )
 
 // BenchSchema versions the BENCH.json layout so regression tooling can
-// reject documents it does not understand. v2 added the macro rows.
-const BenchSchema = "dyrs-bench/v2"
+// reject documents it does not understand. v2 added the macro rows; v3
+// added the sharded-engine macro preset and its shard/worker columns.
+const BenchSchema = "dyrs-bench/v3"
 
 // BenchRow is the timing summary for one experiment across repetitions.
 type BenchRow struct {
@@ -30,9 +31,14 @@ type BenchRow struct {
 // so the number is portable — and AllocMiB/Allocs are the run's total
 // allocation volume and count.
 type MacroBenchRow struct {
-	Scenario     string  `json:"scenario"`
-	Nodes        int     `json:"nodes"`
-	Blocks       int     `json:"blocks"`
+	Scenario string `json:"scenario"`
+	Nodes    int    `json:"nodes"`
+	Blocks   int    `json:"blocks,omitempty"`
+	// Shards and Workers describe the sharded-engine presets: the
+	// partition's logical shard count and the execution workers the run
+	// used. Zero for the sequential-engine presets.
+	Shards       int     `json:"shards,omitempty"`
+	Workers      int     `json:"workers,omitempty"`
 	Events       uint64  `json:"events"`
 	Seconds      float64 `json:"seconds"`
 	EventsPerSec float64 `json:"events_per_sec"`
@@ -65,9 +71,10 @@ type BenchReport struct {
 // RunAllParallel actually costs. With macro set it then runs the
 // datacenter-scale presets once each (serially, so the memory numbers
 // are attributable) and appends their throughput and footprint as Macro
-// rows. Progress, when non-nil, receives the runner's serialized events
-// (rep boundaries included).
-func RunBench(seed int64, reps, jobs int, macro bool, progress func(runner.Event)) (*BenchReport, error) {
+// rows; shards sets the execution-worker count of the sharded-engine
+// preset in that pass (<=0: GOMAXPROCS). Progress, when non-nil,
+// receives the runner's serialized events (rep boundaries included).
+func RunBench(seed int64, reps, jobs, shards int, macro bool, progress func(runner.Event)) (*BenchReport, error) {
 	if reps < 1 {
 		reps = 1
 	}
@@ -111,6 +118,13 @@ func RunBench(seed int64, reps, jobs int, macro bool, progress func(runner.Event
 			}
 			rep.Macro = append(rep.Macro, row)
 		}
+		sopt := ScaleShard1kOptions(seed)
+		sopt.Workers = shards
+		row, err := macroBenchShard(sopt)
+		if err != nil {
+			return nil, fmt.Errorf("macro bench %s: %w", sopt.Scenario, err)
+		}
+		rep.Macro = append(rep.Macro, row)
 	}
 	rep.TotalSeconds = time.Since(start).Seconds()
 	return rep, nil
@@ -123,34 +137,69 @@ func macroScenarios(seed int64) []ScaleOptions {
 	return []ScaleOptions{Scale100Options(seed), Scale1kOptions(seed)}
 }
 
-// macroBench runs one scale preset and measures its wall-clock cost and
-// memory footprint. The pre-run GC puts the heap in a known state so
-// the allocation deltas belong to this run alone.
-func macroBench(opt ScaleOptions) (MacroBenchRow, error) {
+// macroMeasure times one macro preset run and fills in the wall-clock
+// and memory columns around the identity fields run returns. The
+// pre-run GC puts the heap in a known state so the allocation deltas
+// belong to this run alone.
+func macroMeasure(run func() (MacroBenchRow, error)) (MacroBenchRow, error) {
 	var before, after runtime.MemStats
 	runtime.GC()
 	runtime.ReadMemStats(&before)
 	start := time.Now() //lint:walltime — wall-clock benchmark timing is the point here
-	row, err := RunScale(opt)
+	out, err := run()
 	secs := time.Since(start).Seconds()
 	if err != nil {
 		return MacroBenchRow{}, err
 	}
 	runtime.ReadMemStats(&after)
-	out := MacroBenchRow{
-		Scenario:   row.Scenario,
-		Nodes:      row.Nodes,
-		Blocks:     row.Blocks,
-		Events:     row.EventsFired,
-		Seconds:    secs,
-		PeakSysMiB: float64(after.Sys) / (1 << 20),
-		AllocMiB:   float64(after.TotalAlloc-before.TotalAlloc) / (1 << 20),
-		Allocs:     after.Mallocs - before.Mallocs,
-	}
+	out.Seconds = secs
+	out.PeakSysMiB = float64(after.Sys) / (1 << 20)
+	out.AllocMiB = float64(after.TotalAlloc-before.TotalAlloc) / (1 << 20)
+	out.Allocs = after.Mallocs - before.Mallocs
 	if secs > 0 {
-		out.EventsPerSec = float64(row.EventsFired) / secs
+		out.EventsPerSec = float64(out.Events) / secs
 	}
 	return out, nil
+}
+
+// macroBench runs one sequential-engine scale preset and measures its
+// wall-clock cost and memory footprint.
+func macroBench(opt ScaleOptions) (MacroBenchRow, error) {
+	return macroMeasure(func() (MacroBenchRow, error) {
+		row, err := RunScale(opt)
+		if err != nil {
+			return MacroBenchRow{}, err
+		}
+		return MacroBenchRow{
+			Scenario: row.Scenario,
+			Nodes:    row.Nodes,
+			Blocks:   row.Blocks,
+			Events:   row.EventsFired,
+		}, nil
+	})
+}
+
+// macroBenchShard runs one sharded-engine preset, recording the
+// partition's shard count and the worker count the run executed with
+// (the knob dyrs-bench -shards sets).
+func macroBenchShard(opt ScaleShardOptions) (MacroBenchRow, error) {
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return macroMeasure(func() (MacroBenchRow, error) {
+		row, err := RunScaleShard(opt)
+		if err != nil {
+			return MacroBenchRow{}, err
+		}
+		return MacroBenchRow{
+			Scenario: row.Scenario,
+			Nodes:    row.Nodes,
+			Shards:   row.Shards,
+			Workers:  workers,
+			Events:   row.EventsFired,
+		}, nil
+	})
 }
 
 // WriteJSON writes the report as indented JSON.

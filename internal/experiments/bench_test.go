@@ -8,7 +8,7 @@ import (
 )
 
 func TestRunBenchReportShape(t *testing.T) {
-	rep, err := RunBench(1, 2, 0, false, nil)
+	rep, err := RunBench(1, 2, 0, 0, false, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -73,8 +73,29 @@ func TestMacroBenchRow(t *testing.T) {
 	}
 }
 
+// TestMacroBenchShardRow exercises the sharded-engine macro measurement
+// on the smoke preset; the 1k preset runs via -bench and the
+// BenchmarkScale1kShards* macro-benchmarks.
+func TestMacroBenchShardRow(t *testing.T) {
+	opt := ScaleShardSmokeOptions(7)
+	opt.Workers = 2
+	row, err := macroBenchShard(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.Scenario != "scaleshard" || row.Nodes != 120 || row.Shards != 9 || row.Workers != 2 {
+		t.Errorf("shard macro row misreports the preset: %+v", row)
+	}
+	if row.Events == 0 || row.Seconds <= 0 || row.EventsPerSec <= 0 {
+		t.Errorf("shard macro row missing throughput numbers: %+v", row)
+	}
+	if row.PeakSysMiB <= 0 || row.AllocMiB <= 0 || row.Allocs == 0 {
+		t.Errorf("shard macro row missing memory numbers: %+v", row)
+	}
+}
+
 func TestRunBenchClampsReps(t *testing.T) {
-	rep, err := RunBench(1, 0, 1, false, nil)
+	rep, err := RunBench(1, 0, 1, 0, false, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -58,6 +58,13 @@ type Options struct {
 	// Trace attaches a trace.Tracer to the run so migrations, reads and
 	// tasks record spans; retrieve it with Env.Tracer.
 	Trace bool
+	// Shards, when >1, runs the environment on a sim.ShardedEngine with
+	// that many logical shards. The whole model is pinned to shard 0, so
+	// it executes on the sharded engine's solo fast path and every
+	// output stays byte-identical to Shards<=1 — this is the cheap
+	// differential lever dyrs-sim/dyrs-fuzz -shards pulls to prove the
+	// sharded executor against the sequential one.
+	Shards int
 }
 
 // DefaultOptions mirrors the paper's 7-worker testbed.
@@ -85,7 +92,12 @@ func NewEnv(policy Policy, opt Options) *Env {
 	if opt.Workers <= 0 {
 		opt.Workers = 7
 	}
-	eng := sim.NewEngine(opt.Seed)
+	var eng *sim.Engine
+	if opt.Shards > 1 {
+		eng = sim.NewShardedEngine(opt.Seed, opt.Shards, time.Millisecond).Shard(0)
+	} else {
+		eng = sim.NewEngine(opt.Seed)
+	}
 	if opt.Trace {
 		// Attach before any component constructs: they capture the run's
 		// tracer once at construction time.

@@ -57,6 +57,8 @@ type FullReport struct {
 	Iterative []IterativeRow `json:"iterative"`
 
 	Scale []ScaleRow `json:"scale"`
+
+	ScaleShard []ScaleShardRow `json:"scaleshard"`
 }
 
 // HiveRowJSON is the JSON form of one Hive query result.

@@ -63,6 +63,7 @@ func Registry() []Experiment {
 		hotcoldExperiment(),
 		iterativeExperiment(),
 		scaleExperiment(),
+		scaleShardExperiment(),
 	}
 }
 

@@ -44,6 +44,11 @@ type ScaleOptions struct {
 	Virtual sim.Duration
 	// Seed drives all randomness; identical seeds give identical rows.
 	Seed int64
+	// Shards, when >1, runs the scenario pinned to shard 0 of a
+	// sim.ShardedEngine with that many logical shards — the solo fast
+	// path, byte-identical to the sequential engine (asserted by
+	// TestScaleDeterminism100ShardedMatchesSequential).
+	Shards int
 }
 
 // Scale100Options is the CI-sized preset: 100 nodes for two days of
@@ -186,7 +191,12 @@ func RunScale(opt ScaleOptions) (ScaleRow, error) {
 		return row, fmt.Errorf("scale %s: non-positive size parameter", opt.Scenario)
 	}
 
-	eng := sim.NewEngine(opt.Seed)
+	var eng *sim.Engine
+	if opt.Shards > 1 {
+		eng = sim.NewShardedEngine(opt.Seed, opt.Shards, time.Millisecond).Shard(0)
+	} else {
+		eng = sim.NewEngine(opt.Seed)
+	}
 
 	// Derive per-node disk heterogeneity from the synthesized Google
 	// trace: a node's mean background utilization scales down its

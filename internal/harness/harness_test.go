@@ -149,6 +149,21 @@ func TestCheckScenarioSmokeSeeds(t *testing.T) {
 	}
 }
 
+// TestCheckScenarioShardInvariance runs the full battery with the
+// sharded fourth run at shards in {2, 4}: the differential
+// sharded-vs-sequential gate over real generated scenarios. Under
+// -race in CI this is the tentpole equivalence proof at harness level.
+func TestCheckScenarioShardInvariance(t *testing.T) {
+	t.Parallel()
+	for _, shards := range []int{2, 4} {
+		sc := Generate(7)
+		sc.Shards = shards
+		for _, f := range CheckScenario(sc) {
+			t.Errorf("seed 7 shards=%d: %s", shards, f)
+		}
+	}
+}
+
 // TestRunScenarioObservations checks the harness actually exercises the
 // system: jobs complete, migrations happen, and the trace hash is
 // stable across runs.
@@ -185,8 +200,8 @@ func TestEvaluateDetectsSyntheticViolations(t *testing.T) {
 		}
 		return mk(experiments.DYRS), mk(experiments.DYRS), mk(experiments.HDFS)
 	}
-	if r1, r2, rh := clean(); len(Evaluate(sc, r1, r2, rh)) != 0 {
-		t.Fatalf("baseline should pass: %v", Evaluate(sc, r1, r2, rh))
+	if r1, r2, rh := clean(); len(Evaluate(sc, r1, r2, rh, nil)) != 0 {
+		t.Fatalf("baseline should pass: %v", Evaluate(sc, r1, r2, rh, nil))
 	}
 
 	cases := []struct {
@@ -213,7 +228,7 @@ func TestEvaluateDetectsSyntheticViolations(t *testing.T) {
 	for i, tc := range cases {
 		r1, r2, rh := clean()
 		tc.mutate(r1, r2, rh)
-		got := Evaluate(sc, r1, r2, rh)
+		got := Evaluate(sc, r1, r2, rh, nil)
 		found := false
 		for _, f := range got {
 			if f.Oracle == tc.oracle {
@@ -222,6 +237,38 @@ func TestEvaluateDetectsSyntheticViolations(t *testing.T) {
 		}
 		if !found {
 			t.Errorf("case %d: oracle %s did not fire (got %v)", i, tc.oracle, got)
+		}
+	}
+
+	// Shard invariance: a sharded run diverging from the sequential
+	// reference in hash, completion set, or stats must fire the oracle;
+	// an identical one must not.
+	shardCases := []struct {
+		name   string
+		mutate func(rs *RunResult)
+		fire   bool
+	}{
+		{"identical", func(*RunResult) {}, false},
+		{"hash", func(rs *RunResult) { rs.TraceHash = "other" }, true},
+		{"completed", func(rs *RunResult) { rs.Completed = []string{"ghost"} }, true},
+		{"stats", func(rs *RunResult) { rs.Stats.Migrated = 7 }, true},
+		{"counters", func(rs *RunResult) { rs.Counters = map[string]int64{"x": 1} }, true},
+	}
+	for _, tc := range shardCases {
+		r1, r2, rh := clean()
+		rs := &RunResult{Policy: experiments.DYRS, TraceHash: "h", Counters: map[string]int64{}}
+		tc.mutate(rs)
+		scs := sc
+		scs.Shards = 4
+		got := Evaluate(scs, r1, r2, rh, rs)
+		fired := false
+		for _, f := range got {
+			if f.Oracle == OracleShardInvariance {
+				fired = true
+			}
+		}
+		if fired != tc.fire {
+			t.Errorf("shard-invariance %s: fired=%v want %v (got %v)", tc.name, fired, tc.fire, got)
 		}
 	}
 }

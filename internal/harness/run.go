@@ -101,6 +101,7 @@ func RunScenario(sc Scenario, policy experiments.Policy) *RunResult {
 		Seed:      sc.Seed,
 		SlowNodes: sc.SlowNodes,
 		Trace:     true,
+		Shards:    sc.Shards,
 	}
 	env := experiments.NewEnv(policy, opt)
 	defer env.Close()

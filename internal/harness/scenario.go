@@ -16,7 +16,11 @@
 //     is the loss of the speedup");
 //  5. determinism: running the identical scenario twice produces
 //     byte-identical canonical traces (same hash), identical stats and
-//     identical completion sets.
+//     identical completion sets;
+//  6. shard invariance (when the scenario carries a shard count):
+//     executing the scenario on the sharded multi-core engine produces
+//     the same trace hash, stats, counters and completion set as the
+//     sequential engine.
 //
 // On failure the harness shrinks the scenario — dropping faults, then
 // jobs, while the same oracle keeps failing — and prints a one-line
@@ -132,6 +136,13 @@ type Scenario struct {
 	// Racks, when >1, partitions the workers into racks with rack-aware
 	// replica placement (large topologies only; 0 = flat network).
 	Racks int
+	// Shards, when >1, adds a fourth oracle run executing the scenario
+	// on a sim.ShardedEngine with that many logical shards; the
+	// shard-invariance oracle demands its trace hash, stats and counters
+	// match the sequential runs byte for byte. Set by the driver
+	// (dyrs-fuzz -shards), never drawn by generate, so existing repro
+	// masks stay stable.
+	Shards int
 	// SlowNodes scales the disk bandwidth of fixed-slow hardware
 	// (node index -> scale < 1).
 	SlowNodes map[int]float64
@@ -150,8 +161,12 @@ func (sc Scenario) String() string {
 	if sc.Large {
 		size = fmt.Sprintf(" large racks=%d", sc.Racks)
 	}
-	return fmt.Sprintf("seed=%d workers=%d%s slow=%d jobs=%d faults=%d hb=%v",
-		sc.Seed, sc.Workers, size, len(sc.SlowNodes), len(sc.Jobs), len(sc.Faults), sc.Heartbeats)
+	shards := ""
+	if sc.Shards > 1 {
+		shards = fmt.Sprintf(" shards=%d", sc.Shards)
+	}
+	return fmt.Sprintf("seed=%d workers=%d%s%s slow=%d jobs=%d faults=%d hb=%v",
+		sc.Seed, sc.Workers, size, shards, len(sc.SlowNodes), len(sc.Jobs), len(sc.Faults), sc.Heartbeats)
 }
 
 // Generate draws the testbed-scale scenario for a seed (5-8 workers,

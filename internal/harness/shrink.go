@@ -15,14 +15,16 @@ import (
 type Repro struct {
 	Seed       int64
 	Large      bool  // regenerate from the large-topology envelope
+	Shards     int   // engine shard count the failure was observed at (0/1: sequential)
 	KeepFaults []int // nil: all faults
 	KeepJobs   []int // nil: all jobs
 }
 
 // Scenario materializes the repro by generating the seed's scenario and
-// applying the keep-masks.
+// applying the keep-masks and shard count.
 func (r Repro) Scenario() Scenario {
 	sc := generate(r.Seed, r.Large)
+	sc.Shards = r.Shards
 	if r.KeepFaults != nil {
 		sc.Faults = pick(sc.Faults, r.KeepFaults)
 	}
@@ -68,10 +70,14 @@ func (r Repro) Command() string {
 	if r.Large {
 		size = " -large"
 	}
-	if mask := r.String(); mask != "" {
-		return fmt.Sprintf("dyrs-fuzz%s -seed %d -repro '%s'", size, r.Seed, mask)
+	shards := ""
+	if r.Shards > 1 {
+		shards = fmt.Sprintf(" -shards %d", r.Shards)
 	}
-	return fmt.Sprintf("dyrs-fuzz%s -seed %d", size, r.Seed)
+	if mask := r.String(); mask != "" {
+		return fmt.Sprintf("dyrs-fuzz%s%s -seed %d -repro '%s'", size, shards, r.Seed, mask)
+	}
+	return fmt.Sprintf("dyrs-fuzz%s%s -seed %d", size, shards, r.Seed)
 }
 
 func joinInts(xs []int) string {
@@ -129,10 +135,13 @@ func ParseRepro(seed int64, s string) (Repro, error) {
 
 // Shrink minimizes a failing seed's scenario while the named oracle
 // keeps failing, and returns the reduced repro. large selects the
-// generation envelope the seed was drawn from. It assumes the full
+// generation envelope the seed was drawn from; shards the engine shard
+// count the failure was observed at (threaded through every candidate
+// run, so shard-invariance failures shrink too). It assumes the full
 // scenario currently fails that oracle (as reported by CheckScenario).
-func Shrink(seed int64, large bool, oracle string) Repro {
-	return ShrinkWith(seed, large, func(sc Scenario) bool {
+func Shrink(seed int64, large bool, shards int, oracle string) Repro {
+	r := ShrinkWith(seed, large, func(sc Scenario) bool {
+		sc.Shards = shards
 		for _, f := range CheckScenario(sc) {
 			if f.Oracle == oracle {
 				return true
@@ -140,6 +149,8 @@ func Shrink(seed int64, large bool, oracle string) Repro {
 		}
 		return false
 	})
+	r.Shards = shards
+	return r
 }
 
 // ShrinkWith is the policy-free reduction core: greedy delta debugging

@@ -171,6 +171,18 @@ type Engine struct {
 	stopped bool
 	fired   uint64
 
+	// Sharded-execution fields, nil/zero for a standalone engine. When an
+	// engine is one shard of a ShardedEngine, parent coordinates window
+	// execution, shard is this engine's index, out stages cross-shard
+	// messages until the next barrier, and digest folds the (time, seq)
+	// of every executed event so shard-count invariance is checkable
+	// without tracing. A standalone engine never touches these fields on
+	// its hot path.
+	parent *ShardedEngine
+	shard  int
+	out    []outMsg
+	digest uint64
+
 	// tracer is an opaque per-run observability object (internal/trace
 	// attaches its Tracer here). The engine itself never calls it — the
 	// slot only lets higher layers find the run's tracer through the
@@ -312,11 +324,19 @@ func (e *Engine) skimDead() {
 	}
 }
 
-// Stop makes Run return after the current event completes.
+// Stop makes Run return after the current event completes. On a shard
+// of a ShardedEngine the stop is observed at the next window barrier
+// (immediately, for the solo fast path pinned models run on).
 func (e *Engine) Stop() { e.stopped = true }
 
-// Run executes events until the queue drains or Stop is called.
+// Run executes events until the queue drains or Stop is called. On a
+// shard of a ShardedEngine it runs the whole sharded simulation, so
+// model code holding any shard handle keeps the familiar API.
 func (e *Engine) Run() {
+	if e.parent != nil {
+		e.parent.Run()
+		return
+	}
 	e.stopped = false
 	for !e.stopped {
 		e.skimDead()
@@ -328,8 +348,13 @@ func (e *Engine) Run() {
 }
 
 // RunUntil executes events with timestamps <= t, then advances the clock
-// to exactly t.
+// to exactly t. On a shard of a ShardedEngine it advances the whole
+// sharded simulation (every shard clock reaches t unless stopped).
 func (e *Engine) RunUntil(t Time) {
+	if e.parent != nil {
+		e.parent.RunUntil(t)
+		return
+	}
 	e.stopped = false
 	for !e.stopped {
 		e.skimDead()

@@ -1,0 +1,458 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// This file implements parallel-in-virtual-time execution: a
+// ShardedEngine coordinates N shard Engines that advance concurrently
+// under conservative synchronization, with a determinism contract that
+// is *byte-identical* to sequential execution regardless of worker
+// count or thread scheduling.
+//
+// # Model
+//
+// Each shard is a full Engine — private event queue, sequence counter,
+// clock, RNG stream and free pool — that owns the model state homed on
+// its partition (e.g. the Resources and DataNodes of one rack). Local
+// scheduling (Schedule/At/Cancel/Ticker) is unchanged. The ONLY way
+// state on another shard may be touched is Engine.Send, which stages a
+// timestamped message for the destination shard.
+//
+// # Conservative windows
+//
+// Execution proceeds in rounds. Each round the coordinator computes
+//
+//	T   = min over shards of the next live event time
+//	cap = T + lookahead - 1
+//
+// and every shard executes its local events with at <= cap — in
+// parallel, on up to Workers goroutines. Because a cross-shard message
+// sent at time s arrives no earlier than s + lookahead > cap, no event
+// executed inside the window can affect another shard within the same
+// window: windows are causally closed, which is exactly the
+// Chandy-Misra-Bryant lookahead argument. The window sequence is a pure
+// function of virtual-time state, so it is identical at any worker
+// count.
+//
+// # Deterministic merge
+//
+// At the barrier after each round, staged messages are delivered in a
+// fixed order: source shards in index order, each source's messages in
+// send order. Delivery schedules the callback on the destination's own
+// queue, so a delivered message gets the destination's next sequence
+// numbers in that fixed order. Together with the queue's strict
+// (time, seq) pop order this realizes the merge rule "virtual time,
+// then stable sequence number": messages with distinct arrival times
+// order by time; same-instant messages order by (source shard, send
+// index); and messages always sort after same-instant events the
+// destination had already scheduled in an earlier window — all
+// independent of thread scheduling.
+//
+// # Solo fast path
+//
+// When exactly one shard has pending events and no messages are in
+// flight — in particular for every model that pins itself to shard 0
+// and never calls Send — the coordinator runs that shard directly on
+// the calling goroutine with the sequential engine's loop. The only
+// per-event additions are the execution digest fold and a check of the
+// (empty) outbox, so a pinned model costs the same as a standalone
+// Engine and produces the identical event order, RNG stream, trace
+// bytes and counters.
+type ShardedEngine struct {
+	shards    []*Engine
+	lookahead Duration
+	workers   int
+
+	// Round state shared with workers. windowCap is written by the
+	// coordinator strictly before the round's work is handed out and read
+	// by workers only for shards received from the work channel, so every
+	// access is ordered by a channel operation.
+	windowCap Time
+	busy      []*Engine
+	work      chan *Engine  //lint:shardsync coordinator->worker handoff
+	done      chan struct{} //lint:shardsync worker->coordinator barrier
+	running   bool
+}
+
+// outMsg is one staged cross-shard message: run fn on shard dst at
+// virtual time at. Messages stage in the sending shard's private outbox
+// (only its own worker appends) and are merged at the next barrier.
+type outMsg struct {
+	dst int
+	at  Time
+	fn  func()
+}
+
+// maxOutbox bounds a shard's staged messages per window. A window is at
+// most lookahead long, so any model that trips this is sending orders
+// of magnitude more control traffic than virtual time can deliver —
+// almost certainly a runaway send loop.
+const maxOutbox = 1 << 22
+
+// shardSeedMix decorrelates per-shard RNG streams; shard 0 keeps the
+// root seed so a pinned model draws the exact stream NewEngine(seed)
+// would.
+const shardSeedMix = 0x9E3779B97F4A7C15
+
+// NewShardedEngine creates an engine partitioned into the given number
+// of logical shards. lookahead must be positive: it is the minimum
+// cross-shard latency the model guarantees (Send enforces it), and the
+// width of each conservative execution window.
+//
+// shards == 1 returns a coordinator over a single plain Engine with no
+// parallel machinery at all — Shard(0) is byte-for-byte today's
+// sequential engine.
+func NewShardedEngine(seed int64, shards int, lookahead Duration) *ShardedEngine {
+	if shards < 1 {
+		panic("sim: ShardedEngine needs at least one shard")
+	}
+	if lookahead <= 0 {
+		panic("sim: ShardedEngine lookahead must be positive")
+	}
+	se := &ShardedEngine{
+		shards:    make([]*Engine, shards),
+		lookahead: lookahead,
+		workers:   shards,
+		busy:      make([]*Engine, 0, shards),
+	}
+	for i := range se.shards {
+		sh := NewEngine(seed ^ int64(uint64(i)*shardSeedMix))
+		sh.shard = i
+		if shards > 1 {
+			sh.parent = se
+		}
+		se.shards[i] = sh
+	}
+	return se
+}
+
+// Shards reports the number of logical shards.
+func (se *ShardedEngine) Shards() int { return len(se.shards) }
+
+// Shard returns the engine of the given shard. Model setup code builds
+// each partition's components against its home shard; shard 0 is the
+// conventional control/master shard.
+func (se *ShardedEngine) Shard(i int) *Engine { return se.shards[i] }
+
+// Lookahead reports the conservative window width.
+func (se *ShardedEngine) Lookahead() Duration { return se.lookahead }
+
+// SetWorkers bounds the parallel execution lanes (goroutines) used for
+// multi-shard windows. Worker count affects wall-clock speed only —
+// results are byte-identical at any value. Defaults to the shard count;
+// values are clamped to [1, Shards()].
+func (se *ShardedEngine) SetWorkers(n int) {
+	if n < 1 {
+		n = 1
+	}
+	if n > len(se.shards) {
+		n = len(se.shards)
+	}
+	se.workers = n
+}
+
+// Workers reports the configured execution lane count.
+func (se *ShardedEngine) Workers() int { return se.workers }
+
+// Now reports the virtual clock of shard 0, the control shard whose
+// clock model-facing code conventionally observes.
+func (se *ShardedEngine) Now() Time { return se.shards[0].now }
+
+// EventsFired sums executed events across all shards.
+func (se *ShardedEngine) EventsFired() uint64 {
+	var n uint64
+	for _, sh := range se.shards {
+		n += sh.fired
+	}
+	return n
+}
+
+// Pending sums live queued events across all shards.
+func (se *ShardedEngine) Pending() int {
+	n := 0
+	for _, sh := range se.shards {
+		n += sh.Pending()
+	}
+	return n
+}
+
+// Digest folds the per-shard execution digests in shard order. Two runs
+// of the same model are byte-equivalent iff they executed the same
+// events at the same (time, seq) on every shard, which this digest
+// fingerprints without tracing; it is the cheap invariance check the
+// differential tests compare across worker counts. Digests are
+// maintained by sharded execution only — a standalone Engine reports 0.
+func (se *ShardedEngine) Digest() uint64 {
+	var h uint64 = digestInit
+	for _, sh := range se.shards {
+		h = mixDigest(h, sh.digest, sh.fired)
+	}
+	return h
+}
+
+// Stop makes the current Run return at the next barrier (immediately,
+// in solo mode).
+func (se *ShardedEngine) Stop() {
+	for _, sh := range se.shards {
+		sh.stopped = true
+	}
+}
+
+// Run executes events until every shard's queue drains (and no message
+// is in flight) or Stop is called.
+func (se *ShardedEngine) Run() { se.run(false, 0) }
+
+// RunUntil executes events with timestamps <= t, then advances every
+// shard clock to exactly t (unless stopped early, mirroring
+// Engine.RunUntil).
+func (se *ShardedEngine) RunUntil(t Time) { se.run(true, t) }
+
+// RunFor executes events for a span d of virtual time from the control
+// shard's clock.
+func (se *ShardedEngine) RunFor(d Duration) { se.RunUntil(se.shards[0].now.Add(d)) }
+
+// Send schedules fn to run on shard dst after delay d of virtual time.
+// It is the only legal way to affect state owned by another shard: the
+// callback runs on the destination shard's goroutine, so it must touch
+// only destination-owned state and immutable message payload.
+//
+// Cross-shard sends must respect the engine's lookahead (d >=
+// lookahead); violating it panics, because a shorter delay would let a
+// message land inside the destination's current execution window and
+// break the determinism guarantee. Sends to the engine's own shard are
+// ordinary local schedules with no minimum delay. On a standalone
+// engine (no ShardedEngine), only dst 0 is valid and Send degenerates
+// to Schedule — model code written against Send runs unchanged, and
+// unpartitioned, on a plain Engine.
+func (e *Engine) Send(dst int, d Duration, fn func()) {
+	p := e.parent
+	if p == nil {
+		if dst != 0 {
+			panic(fmt.Sprintf("sim: Send to shard %d on an unsharded engine", dst))
+		}
+		e.Schedule(d, fn)
+		return
+	}
+	if dst < 0 || dst >= len(p.shards) {
+		panic(fmt.Sprintf("sim: Send to shard %d of %d", dst, len(p.shards)))
+	}
+	if dst == e.shard {
+		e.Schedule(d, fn)
+		return
+	}
+	if d < p.lookahead {
+		panic(fmt.Sprintf("sim: cross-shard send with delay %v below lookahead %v", d, p.lookahead))
+	}
+	if len(e.out) >= maxOutbox {
+		panic("sim: shard outbox overflow — runaway cross-shard send loop?")
+	}
+	e.out = append(e.out, outMsg{dst: dst, at: e.now.Add(d), fn: fn})
+}
+
+// ShardID reports which shard of a ShardedEngine this engine is
+// (0 for a standalone engine).
+func (e *Engine) ShardID() int { return e.shard }
+
+// Sharded reports the coordinating ShardedEngine, or nil for a
+// standalone engine or a single-shard coordinator.
+func (e *Engine) Sharded() *ShardedEngine { return e.parent }
+
+// nextLiveAt skims tombstones and reports the shard's next live event
+// time.
+func (e *Engine) nextLiveAt() (Time, bool) {
+	e.skimDead()
+	if len(e.events) == 0 {
+		return 0, false
+	}
+	return e.events[0].at, true
+}
+
+// digestInit is the FNV-1a 64-bit offset basis; mixDigest folds with
+// the FNV prime.
+const digestInit = 14695981039346656037
+
+func mixDigest(h, a, b uint64) uint64 {
+	const prime = 1099511628211
+	h ^= a
+	h *= prime
+	h ^= b
+	h *= prime
+	return h
+}
+
+// runWindow executes the shard's local events with at <= cap, in strict
+// (time, seq) order. It is Engine.step's loop plus the digest fold;
+// workers run it concurrently on disjoint shards.
+func (e *Engine) runWindow(cap Time) {
+	for !e.stopped {
+		e.skimDead()
+		if len(e.events) == 0 || e.events[0].at > cap {
+			return
+		}
+		ev := e.events.popMin()
+		e.now = ev.at
+		e.fired++
+		e.digest = mixDigest(e.digest, uint64(ev.at), ev.seq)
+		ev.fn()
+		e.release(ev)
+	}
+}
+
+// runSolo is the fast path when sh is the only shard with pending work:
+// the sequential engine loop, uninterrupted by windows, breaking back
+// to coordinated mode only if an event stages a cross-shard message.
+func (se *ShardedEngine) runSolo(sh *Engine, bounded bool, target Time) {
+	for !sh.stopped {
+		sh.skimDead()
+		if len(sh.events) == 0 || (bounded && sh.events[0].at > target) {
+			return
+		}
+		ev := sh.events.popMin()
+		sh.now = ev.at
+		sh.fired++
+		sh.digest = mixDigest(sh.digest, uint64(ev.at), ev.seq)
+		ev.fn()
+		sh.release(ev)
+		if len(sh.out) != 0 {
+			return
+		}
+	}
+}
+
+// deliver merges every staged cross-shard message into its destination
+// queue: source shards in index order, each outbox in send order. The
+// destination assigns its next sequence numbers in exactly that order,
+// realizing the (time, then stable sequence) merge rule.
+func (se *ShardedEngine) deliver() {
+	for _, src := range se.shards {
+		if len(src.out) == 0 {
+			continue
+		}
+		for i := range src.out {
+			m := &src.out[i]
+			se.shards[m.dst].At(m.at, m.fn)
+			m.fn = nil // don't pin the closure in the outbox backing array
+		}
+		src.out = src.out[:0]
+	}
+}
+
+// run is the coordinator loop: deliver, census, then either the solo
+// fast path or one conservative window executed across workers.
+func (se *ShardedEngine) run(bounded bool, target Time) {
+	for _, sh := range se.shards {
+		sh.stopped = false
+	}
+	defer se.stopWorkers()
+	for {
+		se.deliver()
+
+		// Census: which shards have work, and the global minimum next
+		// event time that anchors this round's window.
+		se.busy = se.busy[:0]
+		var minAt Time
+		for _, sh := range se.shards {
+			at, ok := sh.nextLiveAt()
+			if !ok {
+				continue
+			}
+			if len(se.busy) == 0 || at < minAt {
+				minAt = at
+			}
+			se.busy = append(se.busy, sh)
+		}
+		if len(se.busy) == 0 {
+			break
+		}
+		if bounded && minAt > target {
+			break
+		}
+		if len(se.busy) == 1 {
+			sh := se.busy[0]
+			se.runSolo(sh, bounded, target)
+			if sh.stopped {
+				return
+			}
+			continue
+		}
+
+		cap := minAt.Add(se.lookahead) - 1
+		if bounded && cap > target {
+			cap = target
+		}
+		se.runRound(cap)
+		for _, sh := range se.shards {
+			if sh.stopped {
+				return
+			}
+		}
+	}
+	if bounded {
+		for _, sh := range se.shards {
+			if sh.now < target {
+				sh.now = target
+			}
+		}
+	}
+}
+
+// runRound executes one window on every busy shard. With one worker the
+// shards run inline in index order — the sequential reference the
+// parallel schedule must (and does) match byte for byte.
+func (se *ShardedEngine) runRound(cap Time) {
+	if se.workers <= 1 {
+		for _, sh := range se.busy {
+			sh.runWindow(cap)
+		}
+		return
+	}
+	se.windowCap = cap
+	se.startWorkers()
+	for _, sh := range se.busy {
+		se.work <- sh //lint:shardsync hand a shard's window to a worker
+	}
+	for range se.busy {
+		<-se.done //lint:shardsync barrier: wait for every window to finish
+	}
+}
+
+// startWorkers lazily spawns the execution lanes for this Run call;
+// stopWorkers (deferred in run) retires them, so a simulation that
+// never leaves the solo path spawns no goroutines at all.
+func (se *ShardedEngine) startWorkers() {
+	if se.running {
+		return
+	}
+	se.running = true
+	se.work = make(chan *Engine)                  //lint:shardsync
+	se.done = make(chan struct{}, len(se.shards)) //lint:shardsync buffered so workers never block the coordinator
+	for i := 0; i < se.workers; i++ {
+		// Channels are passed by value so a retiring pool never touches
+		// the se.work/se.done fields a later Run call may be rebuilding.
+		go se.worker(se.work, se.done) //lint:shardsync audited lanes; shards are disjoint and rounds are channel-ordered
+	}
+}
+
+func (se *ShardedEngine) worker(work <-chan *Engine, done chan<- struct{}) { //lint:shardsync
+	for sh := range work { //lint:shardsync
+		sh.runWindow(se.windowCap)
+		done <- struct{}{} //lint:shardsync
+	}
+}
+
+func (se *ShardedEngine) stopWorkers() {
+	if !se.running {
+		return
+	}
+	close(se.work) //lint:shardsync
+	se.running = false
+}
+
+// ShardRand derives an independent deterministic RNG for ad-hoc model
+// use on shard i, mixed from the shard engine's own stream so parallel
+// partitions never share a source.
+func (se *ShardedEngine) ShardRand(i int) *rand.Rand {
+	return rand.New(rand.NewSource(se.shards[i].rng.Int63()))
+}
