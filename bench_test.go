@@ -739,6 +739,17 @@ func BenchmarkScale100(b *testing.B) { benchScale(b, experiments.Scale100Options
 
 func BenchmarkScale1k(b *testing.B) { benchScale(b, experiments.Scale1kOptions(benchSeed)) }
 
+// BenchmarkScale1kSampled is BenchmarkScale1k with the deterministic
+// 1-in-64 trace sampler attached — the configuration a 10k-node run
+// would ship with. Its gated baseline keeps the observability tax
+// honest: the sampled run must stay within the benchgate band of the
+// untraced one.
+func BenchmarkScale1kSampled(b *testing.B) {
+	opts := experiments.Scale1kOptions(benchSeed)
+	opts.SampleEvery = 64
+	benchScale(b, opts)
+}
+
 func BenchmarkScale10k(b *testing.B) {
 	if testing.Short() {
 		b.Skip("scale10k runs ~10^8 events per iteration; skipped under -short")

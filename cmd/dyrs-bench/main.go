@@ -43,6 +43,7 @@ import (
 	"time"
 
 	"dyrs/internal/experiments"
+	"dyrs/internal/obs"
 	"dyrs/internal/runner"
 )
 
@@ -65,6 +66,7 @@ func run() int {
 	mutexProfile := flag.String("mutexprofile", "", "write a mutex contention profile to this file on exit")
 	blockProfile := flag.String("blockprofile", "", "write a goroutine blocking profile to this file on exit")
 	quiet := flag.Bool("q", false, "suppress per-experiment progress on stderr")
+	manifestPath := flag.String("manifest", "", "write a run-manifest JSON (seed, flags, build, wall time, peak RSS) to this file")
 	list := flag.Bool("list", false, "list experiment names and exit")
 	flag.Parse()
 
@@ -85,6 +87,29 @@ func run() int {
 		return 1
 	}
 	progress := progressPrinter(*quiet)
+
+	// The manifest is written on the way out so it captures the full
+	// wall time and peak RSS of whatever mode ran.
+	if *manifestPath != "" {
+		manifest := obs.NewManifest("dyrs-bench")
+		manifest.Seed = *seed
+		manifest.CaptureFlags(flag.CommandLine)
+		defer func() {
+			manifest.Finish(0)
+			f, err := os.Create(*manifestPath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "dyrs-bench:", err)
+				return
+			}
+			err = manifest.WriteJSON(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "dyrs-bench:", err)
+			}
+		}()
+	}
 
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)

@@ -29,9 +29,12 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 
 	"dyrs/internal/harness"
+	"dyrs/internal/obs"
 	"dyrs/internal/runner"
+	"dyrs/internal/trace"
 )
 
 func main() {
@@ -68,16 +71,35 @@ func run(args []string, stdout, stderr io.Writer) error {
 	large := fs.Bool("large", false, "draw datacenter-shaped scenarios (64-256 nodes, multi-rack)")
 	shards := fs.Int("shards", 0, "engine shards for the invariance run (0: rotate 1/2/4 by seed, 1: sequential only)")
 	shrink := fs.Bool("shrink", true, "shrink failing scenarios to a minimal repro")
+	artifacts := fs.String("artifacts", ".", "directory for failure artifacts (flight-recorder dumps); empty disables")
+	manifestPath := fs.String("manifest", "", "write a run-manifest JSON (seed, flags, build, wall time, peak RSS) to this file")
 	verbose := fs.Bool("v", false, "print every scenario as it is checked")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	var manifest *obs.Manifest
+	if *manifestPath != "" {
+		manifest = obs.NewManifest("dyrs-fuzz")
+		manifest.Seed = *start
+		if *seed != 0 {
+			manifest.Seed = *seed
+		}
+		manifest.CaptureFlags(fs)
+		defer func() {
+			manifest.Finish(0)
+			if f, err := os.Create(*manifestPath); err == nil {
+				manifest.WriteJSON(f)
+				f.Close()
+			}
+		}()
 	}
 
 	if *repro != "" && *seed == 0 {
 		return fmt.Errorf("-repro requires -seed")
 	}
 	if *seed != 0 {
-		return checkOne(stdout, *seed, *large, shardsForSeed(*shards, *seed), *repro, *shrink)
+		return checkOne(stdout, *seed, *large, shardsForSeed(*shards, *seed), *repro, *shrink, *artifacts)
 	}
 
 	type outcome struct {
@@ -125,7 +147,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 			continue
 		}
 		failed++
-		reportFailure(stdout, oc.seed, *large, oc.shards, oc.failures, *shrink)
+		reportFailure(stdout, oc.seed, *large, oc.shards, oc.failures, *shrink, *artifacts)
 	}
 	if failed > 0 {
 		return fmt.Errorf("%d of %d seeds failed", failed, *seeds)
@@ -137,7 +159,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 
 // checkOne replays a single seed (optionally under a repro keep-mask)
 // and reports in detail.
-func checkOne(stdout io.Writer, seed int64, large bool, shards int, mask string, shrink bool) error {
+func checkOne(stdout io.Writer, seed int64, large bool, shards int, mask string, shrink bool, artifacts string) error {
 	rep, err := harness.ParseRepro(seed, mask)
 	if err != nil {
 		return err
@@ -161,17 +183,29 @@ func checkOne(stdout io.Writer, seed int64, large bool, shards int, mask string,
 		fmt.Fprintf(stdout, "ok: seed %d passed all oracles\n", seed)
 		return nil
 	}
+	dumpFlight(stdout, seed, r.Flight, artifacts)
 	// A repro replay is already reduced; only shrink the full scenario.
-	reportFailure(stdout, seed, large, shards, failures, shrink && mask == "")
+	reportFailure(stdout, seed, large, shards, failures, shrink && mask == "", "")
 	return fmt.Errorf("seed %d failed %d oracle check(s)", seed, len(failures))
 }
 
-// reportFailure prints a seed's oracle violations and, when asked, the
-// shrunk reproduction command.
-func reportFailure(stdout io.Writer, seed int64, large bool, shards int, failures []harness.Failure, shrink bool) {
+// reportFailure prints a seed's oracle violations, the flight-recorder
+// dump artifact, and, when asked, the shrunk reproduction command.
+func reportFailure(stdout io.Writer, seed int64, large bool, shards int, failures []harness.Failure, shrink bool, artifacts string) {
 	fmt.Fprintf(stdout, "FAIL seed %d (%d violations):\n", seed, len(failures))
 	for _, f := range failures {
 		fmt.Fprintf(stdout, "  %s\n", f)
+	}
+	if artifacts != "" {
+		// Re-run once to capture the failing run's flight ring; scenarios
+		// are deterministic, so this reproduces the reported run exactly.
+		sc := harness.Generate(seed)
+		if large {
+			sc = harness.GenerateLarge(seed)
+		}
+		sc.Shards = shards
+		r := harness.RunScenario(sc, "DYRS")
+		dumpFlight(stdout, seed, r.Flight, artifacts)
 	}
 	if !shrink {
 		return
@@ -179,4 +213,28 @@ func reportFailure(stdout io.Writer, seed int64, large bool, shards int, failure
 	oracle := harness.FailedOracles(failures)[0]
 	rep := harness.Shrink(seed, large, shards, oracle)
 	fmt.Fprintf(stdout, "  shrunk to %d event(s); repro: %s\n", rep.Events(), rep.Command())
+}
+
+// dumpFlight writes the failing run's flight-recorder tail to an
+// artifact file next to the repro line, so the last moments before the
+// violation survive the process.
+func dumpFlight(stdout io.Writer, seed int64, events []trace.FlightEvent, artifacts string) {
+	if artifacts == "" || len(events) == 0 {
+		return
+	}
+	path := filepath.Join(artifacts, fmt.Sprintf("flight-seed%d.txt", seed))
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(stdout, "  flight dump failed: %v\n", err)
+		return
+	}
+	err = trace.WriteFlightDump(f, events)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		fmt.Fprintf(stdout, "  flight dump failed: %v\n", err)
+		return
+	}
+	fmt.Fprintf(stdout, "  flight recorder (%d events): %s\n", len(events), path)
 }

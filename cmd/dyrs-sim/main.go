@@ -9,9 +9,12 @@
 //	dyrs-sim -policy HDFS -size 20 -alternate 10s -interfere 1
 //	dyrs-sim -policy DYRS -size 10 -trace out.json -trace-format perfetto
 //	dyrs-sim -policy DYRS -size 10 -shards 4   # sharded engine, byte-identical output
+//	dyrs-sim -policy DYRS -size 10 -trace out.json -trace-sample 64   # deterministic 1-in-64 sampling
+//	dyrs-sim -policy DYRS -size 10 -metrics-addr localhost:9090 -manifest man.json
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"io"
@@ -22,8 +25,10 @@ import (
 	"dyrs"
 	"dyrs/internal/cluster"
 	"dyrs/internal/experiments"
+	"dyrs/internal/obs"
 	"dyrs/internal/sim"
 	"dyrs/internal/telemetry"
+	"dyrs/internal/trace"
 	"dyrs/internal/workload"
 )
 
@@ -53,9 +58,19 @@ func run(args []string, stdout, stderr io.Writer) error {
 	showTelemetry := fs.Bool("telemetry", false, "render per-node disk utilization after the run")
 	telemetryCSV := fs.String("telemetry-csv", "", "write raw telemetry samples (disk/NIC/memory series) to this CSV file")
 	tracePath := fs.String("trace", "", "record a trace of the run and write it to this file")
-	traceFormat := fs.String("trace-format", "json", "trace file format: json (canonical dyrs-trace/v1) | perfetto (Chrome trace-event JSON)")
+	traceFormat := fs.String("trace-format", "json", "trace file format: json (canonical dyrs-trace/v2) | perfetto (Chrome trace-event JSON)")
+	traceSample := fs.Int("trace-sample", 1, "keep 1-in-N root spans (deterministic; counters and histograms stay exact)")
+	metricsAddr := fs.String("metrics-addr", "", "serve live OpenMetrics and progress JSON on this address while the run is in flight (e.g. localhost:9090)")
+	manifestPath := fs.String("manifest", "", "write a run-manifest JSON (seed, flags, build, wall/virtual time, peak RSS) to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	var manifest *obs.Manifest
+	if *manifestPath != "" {
+		manifest = obs.NewManifest("dyrs-sim")
+		manifest.Seed = *seed
+		manifest.CaptureFlags(fs)
 	}
 
 	policy := dyrs.Policy(*policyFlag)
@@ -71,18 +86,35 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 
 	if *wl == "hive" {
-		if *tracePath != "" || *telemetryCSV != "" || *shards > 1 {
-			return fmt.Errorf("-trace, -telemetry-csv and -shards are not supported with the hive workload")
+		if *tracePath != "" || *telemetryCSV != "" || *shards > 1 || *metricsAddr != "" {
+			return fmt.Errorf("-trace, -telemetry-csv, -metrics-addr and -shards are not supported with the hive workload")
 		}
-		return runHive(stdout, policy, *query, *seed)
+		if err := runHive(stdout, policy, *query, *seed); err != nil {
+			return err
+		}
+		return writeManifest(manifest, *manifestPath, 0)
 	}
 
 	opt := dyrs.DefaultOptions(*seed)
 	opt.Workers = *workers
 	opt.Shards = *shards
-	opt.Trace = *tracePath != ""
+	// The live endpoint needs an attached tracer for counters and
+	// histograms even when no trace file was requested.
+	opt.Trace = *tracePath != "" || *metricsAddr != ""
+	opt.SampleEvery = *traceSample
 	env := dyrs.NewEnv(policy, opt)
 	defer env.Close()
+
+	if *metricsAddr != "" {
+		srv, err := obs.StartServer(*metricsAddr)
+		if err != nil {
+			return fmt.Errorf("starting metrics endpoint: %w", err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(stdout, "metrics     : http://%s/metrics (progress at /progress)\n", srv.Addr())
+		stopTick := startMetricsTicker(env, srv)
+		defer stopTick()
+	}
 
 	var col *telemetry.Collector
 	if *showTelemetry || *telemetryCSV != "" {
@@ -115,7 +147,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		}
 	}
 
-	if tr := env.Tracer(); tr.Enabled() {
+	if tr := env.Tracer(); tr.Enabled() && *tracePath != "" {
 		write := tr.WriteJSON
 		if *traceFormat == "perfetto" {
 			write = tr.WriteChromeTrace
@@ -125,6 +157,51 @@ func run(args []string, stdout, stderr io.Writer) error {
 		}
 		fmt.Fprintf(stdout, "\ntrace       : %s (%s)\n", *tracePath, *traceFormat)
 		fmt.Fprintf(stdout, "trace summary:\n%s\n", tr.Summarize())
+		if manifest != nil {
+			manifest.AddSchema("trace", trace.Schema)
+		}
+	}
+	return writeManifest(manifest, *manifestPath, env.Eng.Now())
+}
+
+// startMetricsTicker schedules a self-rechaining virtual-time event that
+// renders fresh OpenMetrics and progress snapshots for the live endpoint
+// once per simulated second. The handler only reads simulation state and
+// swaps immutable byte slices into the server, so enabling the endpoint
+// never changes a run's results. The returned stop function publishes a
+// final snapshot and unchains the ticker.
+func startMetricsTicker(env *dyrs.Env, srv *obs.Server) (stop func()) {
+	publish := func() {
+		tr := env.Tracer()
+		var metrics bytes.Buffer
+		if err := tr.WriteOpenMetrics(&metrics); err == nil {
+			progress := fmt.Sprintf("{\"virtual_ns\":%d,\"spans\":%d,\"instants\":%d}\n",
+				int64(env.Eng.Now()), len(tr.Spans()), len(tr.Instants()))
+			srv.Publish(metrics.Bytes(), []byte(progress))
+		}
+	}
+	var ev *sim.Event
+	var tick func()
+	tick = func() {
+		publish()
+		ev = env.Eng.Schedule(sim.Duration(time.Second), tick)
+	}
+	ev = env.Eng.Schedule(sim.Duration(time.Second), tick)
+	return func() {
+		env.Eng.Cancel(ev)
+		publish()
+	}
+}
+
+// writeManifest finalises and writes the run manifest, if one was
+// requested. A nil manifest is a no-op.
+func writeManifest(m *obs.Manifest, path string, virtual sim.Time) error {
+	if m == nil {
+		return nil
+	}
+	m.Finish(virtual)
+	if err := writeFile(path, m.WriteJSON); err != nil {
+		return fmt.Errorf("writing manifest: %w", err)
 	}
 	return nil
 }

@@ -93,8 +93,8 @@ func TestTraceDeterminism(t *testing.T) {
 	if err := json.Unmarshal(a, &doc); err != nil {
 		t.Fatalf("trace file is not valid JSON: %v", err)
 	}
-	if doc.Schema != "dyrs-trace/v1" {
-		t.Errorf("schema = %q, want dyrs-trace/v1", doc.Schema)
+	if doc.Schema != "dyrs-trace/v2" {
+		t.Errorf("schema = %q, want dyrs-trace/v2", doc.Schema)
 	}
 	if doc.Counters["migration.completed"] == 0 {
 		t.Errorf("no completed migrations recorded: %v", doc.Counters)
@@ -187,5 +187,142 @@ func TestTelemetryCSV(t *testing.T) {
 		if !found {
 			t.Errorf("no %q series in CSV", prefix)
 		}
+	}
+}
+
+// TestTraceSampling checks the deterministic sampler end to end: the
+// sampled file is stable across runs and shard counts, strictly smaller
+// than the full trace, and keeps counters exact.
+func TestTraceSampling(t *testing.T) {
+	dir := t.TempDir()
+	full := filepath.Join(dir, "full.json")
+	runOK(t, sortArgs("-trace", full))
+
+	paths := []string{
+		filepath.Join(dir, "s1.json"),
+		filepath.Join(dir, "s1b.json"),
+		filepath.Join(dir, "s2.json"),
+	}
+	runOK(t, sortArgs("-trace", paths[0], "-trace-sample", "4"))
+	runOK(t, sortArgs("-trace", paths[1], "-trace-sample", "4"))
+	runOK(t, sortArgs("-trace", paths[2], "-trace-sample", "4", "-shards", "2"))
+
+	read := func(p string) []byte {
+		t.Helper()
+		b, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	a := read(paths[0])
+	if !bytes.Equal(a, read(paths[1])) {
+		t.Error("sampled trace differs across identical runs")
+	}
+	if !bytes.Equal(a, read(paths[2])) {
+		t.Error("sampled trace differs across shard counts")
+	}
+	if fb := read(full); len(a) >= len(fb) {
+		t.Errorf("sampled trace (%d bytes) not smaller than full (%d bytes)", len(a), len(fb))
+	}
+
+	var sampled, whole struct {
+		SampleN    int              `json:"sample_n"`
+		SampledOut uint64           `json:"sampled_out"`
+		Counters   map[string]int64 `json:"counters"`
+	}
+	if err := json.Unmarshal(a, &sampled); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(read(full), &whole); err != nil {
+		t.Fatal(err)
+	}
+	if sampled.SampleN != 4 {
+		t.Errorf("sample_n = %d, want 4", sampled.SampleN)
+	}
+	if sampled.Counters["migration.completed"] != whole.Counters["migration.completed"] {
+		t.Errorf("sampling changed an exact counter: %d vs %d",
+			sampled.Counters["migration.completed"], whole.Counters["migration.completed"])
+	}
+	if sampled.SampledOut == 0 {
+		t.Error("sampled run dropped nothing")
+	}
+}
+
+// TestManifest checks the run manifest records the run's identity.
+func TestManifest(t *testing.T) {
+	dir := t.TempDir()
+	p := filepath.Join(dir, "man.json")
+	tr := filepath.Join(dir, "t.json")
+	runOK(t, sortArgs("-manifest", p, "-trace", tr))
+
+	b, err := os.ReadFile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m struct {
+		Schema  string            `json:"schema"`
+		Tool    string            `json:"tool"`
+		Seed    int64             `json:"seed"`
+		Flags   map[string]string `json:"flags"`
+		Virtual int64             `json:"virtual_ns"`
+		PeakRSS int64             `json:"peak_rss_bytes"`
+		Schemas map[string]string `json:"schemas"`
+	}
+	if err := json.Unmarshal(b, &m); err != nil {
+		t.Fatalf("manifest is not valid JSON: %v", err)
+	}
+	if m.Schema != "dyrs-manifest/v1" || m.Tool != "dyrs-sim" || m.Seed != 1 {
+		t.Errorf("manifest identity wrong: %+v", m)
+	}
+	if m.Flags["policy"] != "DYRS" || m.Flags["size"] != "0.5" {
+		t.Errorf("manifest flags wrong: %v", m.Flags)
+	}
+	if m.Virtual <= 0 || m.PeakRSS <= 0 {
+		t.Errorf("manifest missing measurements: virtual=%d rss=%d", m.Virtual, m.PeakRSS)
+	}
+	if m.Schemas["trace"] != "dyrs-trace/v2" {
+		t.Errorf("manifest schemas = %v", m.Schemas)
+	}
+}
+
+// TestMetricsEndpointDoesNotPerturb runs the same scenario with and
+// without the live endpoint: results and trace must be identical, and
+// the endpoint must serve an OpenMetrics exposition while alive.
+func TestMetricsEndpointDoesNotPerturb(t *testing.T) {
+	dir := t.TempDir()
+	plain := filepath.Join(dir, "plain.json")
+	live := filepath.Join(dir, "live.json")
+
+	base := runOK(t, sortArgs("-trace", plain))
+	out := runOK(t, sortArgs("-trace", live, "-metrics-addr", "127.0.0.1:0"))
+	if !strings.Contains(out, "metrics     : http://127.0.0.1:") {
+		t.Errorf("output missing endpoint line:\n%s", out)
+	}
+	// Strip the endpoint line (its port varies) and the trace path line
+	// (different file names); everything else must match.
+	strip := func(s string) string {
+		var kept []string
+		for _, line := range strings.Split(s, "\n") {
+			if strings.HasPrefix(line, "metrics     :") || strings.HasPrefix(line, "trace       :") {
+				continue
+			}
+			kept = append(kept, line)
+		}
+		return strings.Join(kept, "\n")
+	}
+	if got, want := strip(out), strip(base); got != want {
+		t.Errorf("live endpoint changed the run output:\n--- without:\n%s\n--- with:\n%s", want, got)
+	}
+	a, err := os.ReadFile(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(live)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Error("live endpoint changed the trace bytes")
 	}
 }

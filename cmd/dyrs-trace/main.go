@@ -16,6 +16,7 @@ import (
 
 	"dyrs/internal/experiments"
 	"dyrs/internal/gtrace"
+	"dyrs/internal/obs"
 )
 
 func main() {
@@ -37,8 +38,16 @@ func run(args []string, stdout, stderr io.Writer) error {
 	utilCSV := fs.String("util-csv", "", "also write per-server utilization samples as CSV to this file")
 	jobsCSV := fs.String("jobs-csv", "", "also write the job lead/read records as CSV to this file")
 	loadJSON := fs.String("load", "", "analyze a trace loaded from this JSON file instead of synthesizing one")
+	manifestPath := fs.String("manifest", "", "write a run-manifest JSON (seed, flags, build, wall time, peak RSS) to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	var manifest *obs.Manifest
+	if *manifestPath != "" {
+		manifest = obs.NewManifest("dyrs-trace")
+		manifest.Seed = *seed
+		manifest.CaptureFlags(fs)
 	}
 
 	var trace *gtrace.Trace
@@ -90,5 +99,14 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if err := export(*utilCSV, func(f *os.File) error { return trace.WriteUtilizationCSV(f) }); err != nil {
 		return err
 	}
-	return export(*jobsCSV, func(f *os.File) error { return trace.WriteJobsCSV(f) })
+	if err := export(*jobsCSV, func(f *os.File) error { return trace.WriteJobsCSV(f) }); err != nil {
+		return err
+	}
+	if manifest != nil {
+		manifest.Finish(0)
+		if err := export(*manifestPath, func(f *os.File) error { return manifest.WriteJSON(f) }); err != nil {
+			return err
+		}
+	}
+	return nil
 }

@@ -5,8 +5,9 @@ package dyrs
 // test statically forbids the usual suspects in internal/ non-test code:
 //
 //   - time.Now(): wall-clock time in simulated logic. Genuinely
-//     wall-clock sites (harness timing) carry a //lint:walltime comment
-//     on the same line.
+//     wall-clock sites (benchmark timing, the ops surface) carry a
+//     //lint:walltime comment on the same line, and only files on the
+//     audited walltimeFiles allowlist may carry that waiver at all.
 //   - the global math/rand source (rand.Intn etc. without an explicit
 //     *rand.Rand): unseeded, process-global randomness. rand.New /
 //     rand.NewSource with explicit seeds are fine.
@@ -37,6 +38,18 @@ import (
 
 // walltimeWaiver marks an intentionally wall-clock time.Now call.
 const walltimeWaiver = "lint:walltime"
+
+// walltimeFiles is the audited allowlist of files that may carry
+// //lint:walltime waivers at all. The waiver exists for code that
+// genuinely measures the real world — benchmark timing, the worker-pool
+// runner, the ops surface (run manifests) — and nowhere else. A waiver
+// appearing outside this list fails the lint even with the comment: add
+// the file here, in review, or use the engine clock.
+var walltimeFiles = map[string]bool{
+	"internal/experiments/bench.go": true,
+	"internal/obs/manifest.go":      true,
+	"internal/runner/runner.go":     true,
+}
 
 // shardsyncWaiver marks an audited concurrency primitive in the sharded
 // executor. Only internal/sim lines carrying this comment may use
@@ -90,13 +103,20 @@ func lintFile(fset *token.FileSet, path string, file *ast.File) []string {
 		out = append(out, fmt.Sprintf("%s:%d: %s", path, p.Line, fmt.Sprintf(format, args...)))
 	}
 
-	// Lines carrying waiver comments, by kind.
+	// Lines carrying waiver comments, by kind. Walltime waivers are
+	// additionally quarantined to the audited file allowlist: a stray
+	// waiver comment in any other file is itself a violation, so the
+	// set of wall-clock call sites can only grow through review here.
 	waived := map[int]bool{}
 	syncWaived := map[int]bool{}
 	for _, cg := range file.Comments {
 		for _, c := range cg.List {
 			line := fset.Position(c.Pos()).Line
 			if strings.Contains(c.Text, walltimeWaiver) {
+				if !walltimeFiles[filepath.ToSlash(path)] {
+					report(c.Pos(), "//%s waiver outside the audited allowlist (walltimeFiles in determinism_lint_test.go); use the engine clock or extend the allowlist in review", walltimeWaiver)
+					continue
+				}
 				waived[line] = true
 			}
 			if strings.Contains(c.Text, shardsyncWaiver) {

@@ -251,6 +251,11 @@ type FS struct {
 
 	readHooks []readHook
 
+	// hReadLat is the streaming read-latency histogram handle (nil and
+	// no-op when untraced); it aggregates every completed read exactly,
+	// independent of span sampling.
+	hReadLat *trace.Hist
+
 	// liveness, when enabled, replaces oracle liveness with the
 	// NameNode's heartbeat-based (stale) view; failedOvers counts reads
 	// that retried after hitting an unreachable node (§III-C2).
@@ -288,6 +293,7 @@ func New(cl *cluster.Cluster, cfg Config) *FS {
 		placeable:      cl.Size(),
 		placeBuf:       make([]cluster.NodeID, 0, cfg.Replication),
 	}
+	fs.hReadLat = fs.tr.Hist("read.latency_ns")
 	for _, n := range cl.Nodes() {
 		fs.dns = append(fs.dns, &DataNode{fs: fs, node: n})
 	}
@@ -824,6 +830,7 @@ func (fs *FS) readAttempt(at cluster.NodeID, id BlockID, start sim.Time,
 
 	finish := func(src ReadSource, server cluster.NodeID) {
 		res := ReadResult{Block: id, Source: src, Server: server, Started: start, Finished: fs.eng.Now()}
+		fs.hReadLat.Observe(int64(res.Finished.Sub(start)))
 		if fs.tr.Enabled() {
 			fs.tr.Add(src.bytesCounter(), size)
 			fs.tr.Inc(src.countCounter())

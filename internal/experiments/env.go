@@ -58,6 +58,11 @@ type Options struct {
 	// Trace attaches a trace.Tracer to the run so migrations, reads and
 	// tasks record spans; retrieve it with Env.Tracer.
 	Trace bool
+	// SampleEvery, when >1 (and Trace is on), keeps 1-in-N root spans
+	// and instants via the tracer's deterministic sampler; counters and
+	// histograms stay exact. The sampled trace is byte-identical across
+	// shard and worker counts.
+	SampleEvery int
 	// Shards, when >1, runs the environment on a sim.ShardedEngine with
 	// that many logical shards. The whole model is pinned to shard 0, so
 	// it executes on the sharded engine's solo fast path and every
@@ -101,7 +106,8 @@ func NewEnv(policy Policy, opt Options) *Env {
 	if opt.Trace {
 		// Attach before any component constructs: they capture the run's
 		// tracer once at construction time.
-		trace.New(eng)
+		tr := trace.New(eng)
+		tr.SetSampling(opt.SampleEvery, uint64(opt.Seed))
 	}
 	cl := cluster.New(eng, opt.Workers, func(i int) cluster.NodeConfig {
 		cfg := cluster.DefaultNodeConfig()
@@ -115,6 +121,13 @@ func NewEnv(policy Policy, opt Options) *Env {
 	})
 	if opt.Racks > 1 {
 		cl.ConfigureRacks(opt.Racks, opt.CoreBandwidth)
+	}
+	if tr := trace.FromEngine(eng); tr.Enabled() {
+		rackOf := make([]int, opt.Workers)
+		for i := range rackOf {
+			rackOf[i] = cl.Rack(cluster.NodeID(i))
+		}
+		tr.SetTopology(rackOf)
 	}
 	fsCfg := dfs.DefaultConfig()
 	if fsCfg.Replication > opt.Workers {

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"io"
 	"time"
 
 	"dyrs/internal/cluster"
@@ -9,6 +10,7 @@ import (
 	"dyrs/internal/gtrace"
 	"dyrs/internal/migration"
 	"dyrs/internal/sim"
+	"dyrs/internal/trace"
 )
 
 // ScaleOptions parameterizes one run of the datacenter-scale experiment
@@ -49,6 +51,13 @@ type ScaleOptions struct {
 	// path, byte-identical to the sequential engine (asserted by
 	// TestScaleDeterminism100ShardedMatchesSequential).
 	Shards int
+	// SampleEvery, when >1, attaches a tracer with deterministic 1-in-N
+	// root-record sampling; the sampled trace is byte-identical at any
+	// Shards value. TraceOut, when non-nil, receives the canonical trace
+	// document at the end of the run (attaching a tracer even when
+	// SampleEvery <= 1).
+	SampleEvery int
+	TraceOut    io.Writer
 }
 
 // Scale100Options is the CI-sized preset: 100 nodes for two days of
@@ -197,6 +206,12 @@ func RunScale(opt ScaleOptions) (ScaleRow, error) {
 	} else {
 		eng = sim.NewEngine(opt.Seed)
 	}
+	if opt.TraceOut != nil || opt.SampleEvery > 1 {
+		// Attach before components construct (they capture the tracer
+		// once). Recording is passive — the traced row stays byte-
+		// identical to the untraced one.
+		trace.New(eng).SetSampling(opt.SampleEvery, uint64(opt.Seed))
+	}
 
 	// Derive per-node disk heterogeneity from the synthesized Google
 	// trace: a node's mean background utilization scales down its
@@ -233,6 +248,13 @@ func RunScale(opt ScaleOptions) (ScaleRow, error) {
 	})
 	if opt.Racks > 1 {
 		cl.ConfigureRacks(opt.Racks, 40*float64(sim.GB))
+	}
+	if rt := trace.FromEngine(eng); rt.Enabled() {
+		rackOf := make([]int, opt.Nodes)
+		for i := range rackOf {
+			rackOf[i] = cl.Rack(cluster.NodeID(i))
+		}
+		rt.SetTopology(rackOf)
 	}
 
 	fs := dfs.New(cl, dfs.Config{BlockSize: opt.BlockSize, Replication: 3})
@@ -336,6 +358,11 @@ func RunScale(opt ScaleOptions) (ScaleRow, error) {
 	if pend != 0 || queued != 0 || migr != 0 || inMem != 0 {
 		return row, fmt.Errorf("scale %s: non-zero final state counts %d/%d/%d/%d",
 			opt.Scenario, pend, queued, migr, inMem)
+	}
+	if opt.TraceOut != nil {
+		if err := trace.FromEngine(eng).WriteJSON(opt.TraceOut); err != nil {
+			return row, fmt.Errorf("scale %s: trace export: %w", opt.Scenario, err)
+		}
 	}
 	return row, nil
 }

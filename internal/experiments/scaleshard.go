@@ -2,11 +2,14 @@ package experiments
 
 import (
 	"fmt"
+	"io"
+	"math/rand"
 	"runtime"
 	"time"
 
 	"dyrs/internal/cluster"
 	"dyrs/internal/sim"
+	"dyrs/internal/trace"
 )
 
 // The scaleshard experiment family is the parallel-in-virtual-time
@@ -56,6 +59,18 @@ type ScaleShardOptions struct {
 	// Workers caps the engine's execution lanes (0 = GOMAXPROCS). Rows
 	// are byte-identical at any value — it is a wall-clock knob only.
 	Workers int
+	// DataShards, when >0, overrides the data-shard count (default: one
+	// per rack). Node-level behavior is layout-invariant: every node's
+	// read stream draws from its own seed-derived RNG and its disk is a
+	// private resource, so the sampled trace and the merged metric
+	// registries are byte-identical at any DataShards value.
+	DataShards int
+	// SampleEvery, when >1, attaches per-shard tracers with
+	// deterministic 1-in-N root-record sampling. TraceOut, when non-nil,
+	// receives the canonical merged trace document at the end of the run
+	// (attaching tracers even when SampleEvery <= 1).
+	SampleEvery int
+	TraceOut    io.Writer
 }
 
 // ScaleShardSmokeOptions is the CI-sized preset registered in the
@@ -126,6 +141,16 @@ type ScaleShardRow struct {
 	Migrated   int     `json:"migrated"`
 	Evicted    int     `json:"evicted"`
 	MigratedTB float64 `json:"migrated_tb"`
+
+	// Engine profiler outcomes (sim.ShardedEngine.Profile): how rounds
+	// split between the solo fast path and coordinated windows, how many
+	// shard-window participations stalled on lookahead, and the
+	// cross-shard message volume. Pure virtual-time facts — identical at
+	// any worker count, so they live in the deterministic row.
+	Rounds          uint64 `json:"windows"`
+	SoloRounds      uint64 `json:"solo_rounds"`
+	LookaheadStalls uint64 `json:"lookahead_stalls"`
+	CrossShardMsgs  uint64 `json:"cross_shard_msgs"`
 }
 
 // ScaleShardReport aggregates the rows of one or more presets.
@@ -162,6 +187,11 @@ type shardNode struct {
 	disk        *sim.Resource
 	outstanding int
 	resident    int
+	// rng drives the node's read think times. Per-node (derived from the
+	// run seed and the node id, never from a shard engine's stream) so
+	// the node's event sequence — and therefore the sampled trace — is
+	// identical at any data-shard layout.
+	rng *rand.Rand
 }
 
 // shardRack is one data shard's state. Only events executing on its
@@ -176,6 +206,14 @@ type shardRack struct {
 	migrated  int
 	migBytes  sim.Bytes
 	evicted   int
+
+	// Per-shard observability (nil and no-op when untraced). Only
+	// node-level records go in — never shard-level ones like heartbeat
+	// batches, whose count depends on the data-shard layout — so the
+	// merged export is layout-invariant.
+	tr        *trace.Tracer
+	hRead     *trace.Hist // read latency, ns
+	hTransfer *trace.Hist // migration transfer size, bytes
 }
 
 // shardLoad is one node's entry in a heartbeat report. Reports are
@@ -212,7 +250,11 @@ func RunScaleShard(opt ScaleShardOptions) (ScaleShardRow, error) {
 	}
 
 	look := cluster.MinLookahead(opt.ControlLatency, 0, opt.Heartbeat)
-	part := cluster.PartitionByRack(opt.Nodes, opt.Racks, opt.Racks, look)
+	dataShards := opt.DataShards
+	if dataShards <= 0 {
+		dataShards = opt.Racks
+	}
+	part := cluster.PartitionByRack(opt.Nodes, opt.Racks, dataShards, look)
 	row.Shards = part.Shards()
 
 	se := sim.NewShardedEngine(opt.Seed, part.Shards(), look)
@@ -223,11 +265,26 @@ func RunScaleShard(opt ScaleShardOptions) (ScaleShardRow, error) {
 	}
 	master := se.Shard(0)
 	span := sim.Time(opt.Virtual)
+	traced := opt.TraceOut != nil || opt.SampleEvery > 1
 
 	m := &shardMaster{est: make([]float64, opt.Nodes)}
+	var masterTr *trace.Tracer
+	if traced {
+		masterTr = trace.New(master)
+		masterTr.SetSampling(opt.SampleEvery, uint64(opt.Seed))
+	}
 	racks := make([]*shardRack, part.Shards())
+	trs := []*trace.Tracer{masterTr}
 	for s := 1; s < part.Shards(); s++ {
-		racks[s] = &shardRack{sh: se.Shard(s)}
+		rk := &shardRack{sh: se.Shard(s)}
+		if traced {
+			rk.tr = trace.New(rk.sh)
+			rk.tr.SetSampling(opt.SampleEvery, uint64(opt.Seed))
+			rk.hRead = rk.tr.Hist("read.latency_ns")
+			rk.hTransfer = rk.tr.Hist("migration.transfer_bytes")
+		}
+		racks[s] = rk
+		trs = append(trs, rk.tr)
 	}
 
 	// Per-node disk heterogeneity, drawn from a dedicated setup stream
@@ -240,7 +297,8 @@ func RunScaleShard(opt ScaleShardOptions) (ScaleShardRow, error) {
 		rk := racks[part.NodeShard(cluster.NodeID(i))]
 		n := &shardNode{
 			id:   i,
-			disk: sim.NewResource(rk.sh, fmt.Sprintf("disk%d", i), nodeCfg.DiskBandwidth*scale, sim.SeekEfficiency(nodeCfg.DiskSeekPenalty)),
+			disk: sim.NewResource(rk.sh, fmt.Sprintf("disk:%d", i), nodeCfg.DiskBandwidth*scale, sim.SeekEfficiency(nodeCfg.DiskSeekPenalty)),
+			rng:  rand.New(rand.NewSource(opt.Seed ^ int64(uint64(i+1)*0x9E3779B97F4A7C15))),
 		}
 		rk.nodes = append(rk.nodes, n)
 		home[i] = n
@@ -252,7 +310,7 @@ func RunScaleShard(opt ScaleShardOptions) (ScaleShardRow, error) {
 	// finishes the in-flight flows.
 	var startRead func(rk *shardRack, n *shardNode)
 	scheduleRead := func(rk *shardRack, n *shardNode) {
-		at := rk.sh.Now().Add(sim.Duration(rk.sh.Rand().ExpFloat64() * float64(opt.ReadEvery)))
+		at := rk.sh.Now().Add(sim.Duration(n.rng.ExpFloat64() * float64(opt.ReadEvery)))
 		if at >= span {
 			return
 		}
@@ -260,10 +318,14 @@ func RunScaleShard(opt ScaleShardOptions) (ScaleShardRow, error) {
 	}
 	startRead = func(rk *shardRack, n *shardNode) {
 		n.outstanding++
+		sp := rk.tr.Begin("read", "read", n.id)
+		t0 := rk.sh.Now()
 		n.disk.Start(opt.BlockSize, func(*sim.Flow) {
 			n.outstanding--
 			rk.reads++
 			rk.readBytes += opt.BlockSize
+			rk.hRead.Observe(int64(rk.sh.Now().Sub(t0)))
+			sp.End()
 			scheduleRead(rk, n)
 		})
 	}
@@ -307,13 +369,19 @@ func RunScaleShard(opt ScaleShardOptions) (ScaleShardRow, error) {
 	// invariant independent of control-plane round trips.
 	const migWeight = 0.3
 	migrate := func(rk *shardRack, n *shardNode) {
+		sp := rk.tr.Begin("migration", "migrate", n.id, trace.Int("size", int64(opt.BlockSize)))
 		n.disk.StartWeighted(opt.BlockSize, migWeight, func(*sim.Flow) {
 			rk.migrated++
 			rk.migBytes += opt.BlockSize
 			n.resident++
+			rk.hTransfer.Observe(int64(opt.BlockSize))
+			rk.tr.Inc("migration.completed")
+			rk.tr.Add("migration.bytes", int64(opt.BlockSize))
+			sp.End(trace.Str("outcome", "pinned"))
 			rk.sh.Schedule(opt.Residency, func() {
 				n.resident--
 				rk.evicted++
+				rk.tr.Instant("migration", "evict", n.id)
 			})
 			id := n.id
 			rk.sh.Send(0, opt.ControlLatency, func() {
@@ -334,6 +402,9 @@ func RunScaleShard(opt ScaleShardOptions) (ScaleShardRow, error) {
 		submit := sim.Time(arrivalSpan * float64(j) / float64(opt.Jobs))
 		master.At(submit, func() {
 			m.requested += opt.BlocksPerJob
+			masterTr.Instant("job", "submit", trace.NodeMaster,
+				trace.Int("blocks", int64(opt.BlocksPerJob)))
+			masterTr.Add("migration.requested", int64(opt.BlocksPerJob))
 			batches := make([][]*shardNode, part.Shards())
 			for k := 0; k < opt.BlocksPerJob; k++ {
 				best := 0
@@ -366,6 +437,13 @@ func RunScaleShard(opt ScaleShardOptions) (ScaleShardRow, error) {
 	row.EventsFired = se.EventsFired()
 	row.Digest = fmt.Sprintf("%016x", se.Digest())
 	row.Heartbeats = m.heartbeats
+	prof := se.Profile()
+	row.Rounds = prof.Rounds
+	row.SoloRounds = prof.SoloRounds
+	row.CrossShardMsgs = prof.Delivered
+	for _, s := range prof.Stalled {
+		row.LookaheadStalls += s
+	}
 	row.Requested = m.requested
 	row.Migrated = m.migrated
 	for s := 1; s < part.Shards(); s++ {
@@ -394,6 +472,11 @@ func RunScaleShard(opt ScaleShardOptions) (ScaleShardRow, error) {
 	}
 	if row.Evicted != rackMigrated {
 		return row, fmt.Errorf("scaleshard %s: migrated %d but evicted %d", opt.Scenario, rackMigrated, row.Evicted)
+	}
+	if opt.TraceOut != nil {
+		if err := trace.WriteMergedJSON(opt.TraceOut, trs...); err != nil {
+			return row, fmt.Errorf("scaleshard %s: trace export: %w", opt.Scenario, err)
+		}
 	}
 	return row, nil
 }

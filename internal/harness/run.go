@@ -56,6 +56,9 @@ type RunResult struct {
 	TraceHash string
 	// EndTime is the virtual clock when the run finished draining.
 	EndTime sim.Time
+	// Flight is the tail of the run's trace activity (bounded ring),
+	// dumped as a diagnosis artifact when an oracle fails.
+	Flight []trace.FlightEvent
 }
 
 // buildSpec maps a generated JobSpec onto a concrete compute.JobSpec
@@ -105,6 +108,10 @@ func RunScenario(sc Scenario, policy experiments.Policy) *RunResult {
 	}
 	env := experiments.NewEnv(policy, opt)
 	defer env.Close()
+	// Arm the flight recorder so a failing scenario leaves its last
+	// moments behind. Sampling stays off: the span-tally oracles need
+	// the full trace.
+	env.Tracer().SetFlightRecorder(512)
 	if sc.Heartbeats {
 		env.FS.EnableHeartbeats(dfs.DefaultLivenessConfig())
 		defer env.FS.DisableHeartbeats()
@@ -231,6 +238,7 @@ func RunScenario(sc Scenario, policy experiments.Policy) *RunResult {
 		}
 	}
 	res.TraceHash = traceHash(tr)
+	res.Flight = tr.FlightEvents()
 	res.EndTime = env.Eng.Now()
 	return res
 }

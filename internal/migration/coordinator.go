@@ -22,6 +22,14 @@ type Coordinator struct {
 	cfg Config
 	tr  *trace.Tracer // run tracer; nil (no-op) when untraced
 
+	// Streaming metric handles, cached once at construction (nil and
+	// no-op when untraced). Histograms aggregate every event exactly —
+	// they are never subject to span sampling.
+	hLead     *trace.Hist // migration request -> first in-memory read, ns
+	hMargin   *trace.Hist // pin -> first in-memory read, ns
+	hTransfer *trace.Hist // completed transfer size, bytes
+	hQueue    *trace.Hist // slave queue occupancy at each bind
+
 	binder Binder
 	slaves []*Slave
 	sched  ActiveJobChecker
@@ -94,6 +102,10 @@ func NewCoordinator(fs *dfs.FS, cfg Config, binder Binder) *Coordinator {
 		hints:     make(map[JobID]JobHint),
 		estimates: make(map[cluster.NodeID]nodeEstimate),
 	}
+	c.hLead = c.tr.Hist("migration.lead_ns")
+	c.hMargin = c.tr.Hist("migration.margin_ns")
+	c.hTransfer = c.tr.Hist("migration.transfer_bytes")
+	c.hQueue = c.tr.Hist("migration.queue_depth")
 	if ab, ok := binder.(attachable); ok {
 		ab.attach(c)
 	}
@@ -224,6 +236,8 @@ func (c *Coordinator) Migrate(job JobID, files []string, implicitEvict bool) err
 			} else {
 				c.transition(bi, statePending)
 				bi.hasTarget = false
+				bi.requestedAt = c.eng.Now()
+				bi.leadRecorded = false
 				c.stats.Requested++
 				if c.tr.Enabled() {
 					bi.span = c.tr.Begin("migration", "migrate", trace.NodeMaster,
@@ -297,6 +311,12 @@ func (c *Coordinator) NoteRead(job JobID, block dfs.BlockID) {
 	switch bi.state {
 	case stateInMemory:
 		c.stats.MemoryHits++
+		if !bi.leadRecorded {
+			bi.leadRecorded = true
+			now := c.eng.Now()
+			c.hLead.Observe(int64(now.Sub(bi.requestedAt)))
+			c.hMargin.Observe(int64(now.Sub(bi.pinnedAt)))
+		}
 	case statePending, stateQueued, stateMigrating:
 		c.stats.MissedReads++
 		inFlight = true
@@ -377,6 +397,7 @@ func (c *Coordinator) onHeartbeat(n cluster.NodeID, perByte float64, queued int)
 func (c *Coordinator) onMigrated(bi *blockInfo, at cluster.NodeID) {
 	c.transition(bi, stateInMemory)
 	bi.slave = at
+	bi.pinnedAt = c.eng.Now()
 	c.stats.Migrated++
 	c.stats.BytesMigrated += bi.size
 	for _, fn := range c.migratedHooks {

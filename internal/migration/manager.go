@@ -268,6 +268,14 @@ type blockInfo struct {
 	target     cluster.NodeID // Algorithm 1 target while pending
 	hasTarget  bool
 	enqueuedAt sim.Time
+	// requestedAt / pinnedAt feed the streaming lead-time and margin
+	// histograms. They are plain timestamps, not span lookups, so the
+	// metrics stay exact when span sampling drops the migration span.
+	requestedAt sim.Time
+	pinnedAt    sim.Time
+	// leadRecorded gates the lead/margin observation to the block's
+	// first in-memory read, matching the summary's definitions.
+	leadRecorded bool
 	// detached marks a record the master forgot in a fail-over while the
 	// slave side kept running; its later transitions no longer touch the
 	// master's incremental state counts (see Coordinator.transition).

@@ -173,6 +173,7 @@ func (s *Slave) enqueue(bi *blockInfo) {
 	bi.slave = s.node.ID
 	bi.enqueuedAt = s.c.eng.Now()
 	s.queue = append(s.queue, bi)
+	s.c.hQueue.Observe(int64(len(s.queue)))
 	if tr := s.c.tr; tr.Enabled() {
 		bi.span.Annotate(trace.Int("slave", int64(s.node.ID)),
 			trace.Dur("bound-after", s.c.eng.Now().Sub(bi.span.Begin())))
@@ -241,6 +242,7 @@ func (s *Slave) finish(bi *blockInfo, d sim.Duration) {
 	s.estimator.observe(d.Seconds(), bi.size)
 	s.Migrations++
 	s.BytesMigrated += bi.size
+	s.c.hTransfer.Observe(int64(bi.size))
 	if tr := s.c.tr; tr.Enabled() {
 		if am := s.active[bi]; am != nil {
 			am.span.End(trace.Str("outcome", "completed"))

@@ -1,0 +1,58 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"testing"
+
+	"dyrs/internal/sim"
+)
+
+func TestManifestRoundTrip(t *testing.T) {
+	m := NewManifest("dyrs-test")
+	m.Seed = 42
+
+	fs := flag.NewFlagSet("dyrs-test", flag.ContinueOnError)
+	fs.Int64("seed", 1, "")
+	fs.String("policy", "DYRS", "")
+	if err := fs.Parse([]string{"-seed", "42"}); err != nil {
+		t.Fatal(err)
+	}
+	m.CaptureFlags(fs)
+	m.AddSchema("trace", "dyrs-trace/v2")
+	m.Finish(sim.Time(12345))
+
+	var buf bytes.Buffer
+	if err := m.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var round Manifest
+	if err := json.Unmarshal(buf.Bytes(), &round); err != nil {
+		t.Fatalf("manifest does not round-trip: %v", err)
+	}
+	if round.Schema != ManifestSchema || round.Tool != "dyrs-test" || round.Seed != 42 {
+		t.Errorf("identity fields lost: %+v", round)
+	}
+	if round.Flags["seed"] != "42" || round.Flags["policy"] != "DYRS" {
+		t.Errorf("flags = %v, want effective values incl. defaults", round.Flags)
+	}
+	if round.Schemas["trace"] != "dyrs-trace/v2" {
+		t.Errorf("schemas = %v", round.Schemas)
+	}
+	if round.VirtualNS != 12345 {
+		t.Errorf("virtual_ns = %d, want 12345", round.VirtualNS)
+	}
+	if round.WallSeconds < 0 {
+		t.Errorf("wall_seconds = %g, want >= 0", round.WallSeconds)
+	}
+	if round.GoVersion == "" || round.OS == "" || round.Arch == "" || round.StartedAt == "" {
+		t.Errorf("build/host fields missing: %+v", round)
+	}
+}
+
+func TestPeakRSSBytes(t *testing.T) {
+	if got := peakRSSBytes(); got <= 0 {
+		t.Errorf("peak RSS = %d, want > 0 on any platform", got)
+	}
+}

@@ -1,0 +1,74 @@
+// The live ops endpoint: a read-only wall-clock HTTP server a CLI can
+// expose with -metrics-addr while a long simulation runs. It serves
+// whatever snapshot the simulation goroutine last published — the
+// server never touches simulation state, so determinism is untouched:
+// snapshots are rendered inside the virtual-time loop (on a ticker) and
+// handed over through an atomic pointer swap.
+//
+//	GET /metrics   OpenMetrics text exposition (latest published)
+//	GET /progress  JSON progress snapshot (latest published)
+//	GET /          same as /progress
+package obs
+
+import (
+	"net"
+	"net/http"
+	"sync/atomic"
+	"time"
+)
+
+// Server is the live metrics endpoint. Zero coordination with the
+// simulation: Publish stores immutable byte slices; handlers load them.
+type Server struct {
+	ln       net.Listener
+	srv      *http.Server
+	metrics  atomic.Value // []byte, OpenMetrics text
+	progress atomic.Value // []byte, JSON
+}
+
+// StartServer listens on addr (e.g. "localhost:9090", ":0" for an
+// ephemeral port) and serves in a background goroutine. The returned
+// server is live immediately; publish snapshots as the run proceeds and
+// Close it when done.
+func StartServer(addr string) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{ln: ln}
+	s.metrics.Store([]byte("# EOF\n"))
+	s.progress.Store([]byte("{}\n"))
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/openmetrics-text; version=1.0.0; charset=utf-8")
+		w.Write(s.metrics.Load().([]byte))
+	})
+	progress := func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(s.progress.Load().([]byte))
+	}
+	mux.HandleFunc("/progress", progress)
+	mux.HandleFunc("/", progress)
+
+	s.srv = &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go s.srv.Serve(ln)
+	return s, nil
+}
+
+// Publish swaps in new snapshots; nil leaves the respective snapshot
+// unchanged. Callers must not mutate the slices after publishing.
+func (s *Server) Publish(metrics, progress []byte) {
+	if metrics != nil {
+		s.metrics.Store(metrics)
+	}
+	if progress != nil {
+		s.progress.Store(progress)
+	}
+}
+
+// Addr reports the bound listen address (useful with ":0").
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the listener and in-flight handlers.
+func (s *Server) Close() error { return s.srv.Close() }

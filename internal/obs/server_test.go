@@ -1,0 +1,80 @@
+package obs
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func get(t *testing.T, url string) (string, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(body), resp.Header.Get("Content-Type")
+}
+
+func TestServerServesPublishedSnapshots(t *testing.T) {
+	s, err := StartServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	base := "http://" + s.Addr()
+
+	// Before any publish: the placeholder snapshots.
+	body, ctype := get(t, base+"/metrics")
+	if body != "# EOF\n" {
+		t.Errorf("initial /metrics = %q, want empty exposition", body)
+	}
+	if !strings.Contains(ctype, "openmetrics-text") {
+		t.Errorf("metrics content-type = %q", ctype)
+	}
+	if body, _ := get(t, base+"/progress"); body != "{}\n" {
+		t.Errorf("initial /progress = %q", body)
+	}
+
+	s.Publish([]byte("dyrs_x 1\n# EOF\n"), []byte(`{"virtual_ns":5}`))
+	if body, _ := get(t, base+"/metrics"); body != "dyrs_x 1\n# EOF\n" {
+		t.Errorf("/metrics after publish = %q", body)
+	}
+	for _, path := range []string{"/progress", "/"} {
+		body, ctype := get(t, base+path)
+		if body != `{"virtual_ns":5}` {
+			t.Errorf("%s = %q", path, body)
+		}
+		if !strings.Contains(ctype, "application/json") {
+			t.Errorf("%s content-type = %q", path, ctype)
+		}
+	}
+
+	// nil leaves the previous snapshot in place.
+	s.Publish(nil, []byte(`{"virtual_ns":9}`))
+	if body, _ := get(t, base+"/metrics"); body != "dyrs_x 1\n# EOF\n" {
+		t.Errorf("/metrics after nil publish = %q", body)
+	}
+	if body, _ := get(t, base+"/progress"); body != `{"virtual_ns":9}` {
+		t.Errorf("/progress after second publish = %q", body)
+	}
+}
+
+func TestServerClose(t *testing.T) {
+	s, err := StartServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := s.Addr()
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := http.Get("http://" + addr + "/metrics"); err == nil {
+		t.Error("closed server still answering")
+	}
+}

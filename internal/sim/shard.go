@@ -74,6 +74,69 @@ type ShardedEngine struct {
 	work      chan *Engine  //lint:shardsync coordinator->worker handoff
 	done      chan struct{} //lint:shardsync worker->coordinator barrier
 	running   bool
+
+	prof       ShardProfile
+	profBefore []uint64 // fired-count snapshot scratch, indexed by shard
+}
+
+// ShardProfile is the coordinator's per-shard execution accounting:
+// how rounds split between the solo fast path and coordinated windows,
+// how often each shard participated in a window versus stalled on
+// lookahead (was busy but its next event lay beyond the window cap, so
+// it burned a barrier without executing anything), how many events each
+// shard executed inside coordinated windows, and the cross-shard
+// message volume per (source, destination) edge. Every field is
+// maintained by the coordinator goroutine only — stall and send counts
+// are pure functions of virtual-time state, so the profile is identical
+// at any worker count.
+type ShardProfile struct {
+	Rounds       uint64     // coordinated (multi-shard) windows run
+	SoloRounds   uint64     // solo fast-path entries
+	SoloExecuted uint64     // events executed on the solo path
+	Windows      []uint64   // per shard: coordinated windows it was busy in
+	Stalled      []uint64   // per shard: windows it was busy but executed nothing
+	Executed     []uint64   // per shard: events executed in coordinated windows
+	Sends        [][]uint64 // [src][dst] cross-shard messages delivered
+	Delivered    uint64     // total cross-shard messages delivered
+}
+
+// SoloRate reports the fraction of rounds served by the solo fast path
+// (0 when no rounds ran).
+func (p *ShardProfile) SoloRate() float64 {
+	total := p.Rounds + p.SoloRounds
+	if total == 0 {
+		return 0
+	}
+	return float64(p.SoloRounds) / float64(total)
+}
+
+// StallRate reports the fraction of shard-window participations that
+// stalled on lookahead (0 when no windows ran).
+func (p *ShardProfile) StallRate() float64 {
+	var windows, stalled uint64
+	for i := range p.Windows {
+		windows += p.Windows[i]
+		stalled += p.Stalled[i]
+	}
+	if windows == 0 {
+		return 0
+	}
+	return float64(stalled) / float64(windows)
+}
+
+// Profile returns a snapshot copy of the coordinator's execution
+// profile. Call it between Run calls (or after Run returns); the
+// coordinator owns the live counters while running.
+func (se *ShardedEngine) Profile() ShardProfile {
+	p := se.prof
+	p.Windows = append([]uint64(nil), se.prof.Windows...)
+	p.Stalled = append([]uint64(nil), se.prof.Stalled...)
+	p.Executed = append([]uint64(nil), se.prof.Executed...)
+	p.Sends = make([][]uint64, len(se.prof.Sends))
+	for i, row := range se.prof.Sends {
+		p.Sends[i] = append([]uint64(nil), row...)
+	}
+	return p
 }
 
 // outMsg is one staged cross-shard message: run fn on shard dst at
@@ -112,10 +175,18 @@ func NewShardedEngine(seed int64, shards int, lookahead Duration) *ShardedEngine
 		panic("sim: ShardedEngine lookahead must be positive")
 	}
 	se := &ShardedEngine{
-		shards:    make([]*Engine, shards),
-		lookahead: lookahead,
-		workers:   shards,
-		busy:      make([]*Engine, 0, shards),
+		shards:     make([]*Engine, shards),
+		lookahead:  lookahead,
+		workers:    shards,
+		busy:       make([]*Engine, 0, shards),
+		profBefore: make([]uint64, shards),
+	}
+	se.prof.Windows = make([]uint64, shards)
+	se.prof.Stalled = make([]uint64, shards)
+	se.prof.Executed = make([]uint64, shards)
+	se.prof.Sends = make([][]uint64, shards)
+	for i := range se.prof.Sends {
+		se.prof.Sends[i] = make([]uint64, shards)
 	}
 	for i := range se.shards {
 		sh := NewEngine(seed ^ int64(uint64(i)*shardSeedMix))
@@ -330,8 +401,11 @@ func (se *ShardedEngine) deliver() {
 		if len(src.out) == 0 {
 			continue
 		}
+		se.prof.Delivered += uint64(len(src.out))
+		edges := se.prof.Sends[src.shard]
 		for i := range src.out {
 			m := &src.out[i]
+			edges[m.dst]++
 			se.shards[m.dst].At(m.at, m.fn)
 			m.fn = nil // don't pin the closure in the outbox backing array
 		}
@@ -371,7 +445,10 @@ func (se *ShardedEngine) run(bounded bool, target Time) {
 		}
 		if len(se.busy) == 1 {
 			sh := se.busy[0]
+			se.prof.SoloRounds++
+			before := sh.fired
 			se.runSolo(sh, bounded, target)
+			se.prof.SoloExecuted += sh.fired - before
 			if sh.stopped {
 				return
 			}
@@ -402,19 +479,34 @@ func (se *ShardedEngine) run(bounded bool, target Time) {
 // shards run inline in index order — the sequential reference the
 // parallel schedule must (and does) match byte for byte.
 func (se *ShardedEngine) runRound(cap Time) {
+	se.prof.Rounds++
+	for _, sh := range se.busy {
+		se.profBefore[sh.shard] = sh.fired
+	}
 	if se.workers <= 1 {
 		for _, sh := range se.busy {
 			sh.runWindow(cap)
 		}
-		return
+	} else {
+		se.windowCap = cap
+		se.startWorkers()
+		for _, sh := range se.busy {
+			se.work <- sh //lint:shardsync hand a shard's window to a worker
+		}
+		for range se.busy {
+			<-se.done //lint:shardsync barrier: wait for every window to finish
+		}
 	}
-	se.windowCap = cap
-	se.startWorkers()
+	// Attribute the round after the barrier: the fired deltas are pure
+	// virtual-time facts, so the profile is identical at any worker count.
 	for _, sh := range se.busy {
-		se.work <- sh //lint:shardsync hand a shard's window to a worker
-	}
-	for range se.busy {
-		<-se.done //lint:shardsync barrier: wait for every window to finish
+		se.prof.Windows[sh.shard]++
+		delta := sh.fired - se.profBefore[sh.shard]
+		if delta == 0 {
+			se.prof.Stalled[sh.shard]++ // busy, but next event beyond the lookahead cap
+		} else {
+			se.prof.Executed[sh.shard] += delta
+		}
 	}
 }
 

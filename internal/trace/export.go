@@ -1,6 +1,6 @@
-// Trace export: a canonical JSON document (schema dyrs-trace/v1,
+// Trace export: a canonical JSON document (schema dyrs-trace/v2,
 // deterministic and byte-identical across runs at the same seed, in the
-// style of the dyrs-bench/v1 timing documents) and Chrome trace-event
+// style of the dyrs-bench timing documents) and Chrome trace-event
 // JSON loadable in Perfetto or chrome://tracing.
 package trace
 
@@ -11,8 +11,11 @@ import (
 	"sort"
 )
 
-// Schema versions the canonical trace document layout.
-const Schema = "dyrs-trace/v1"
+// Schema versions the canonical trace document layout. v2 added the
+// streaming histogram section and the sampling-rate self-description
+// (both omitted when unused, so an unsampled histogram-free v2 document
+// is byte-identical to v1 apart from this field).
+const Schema = "dyrs-trace/v2"
 
 type spanJSON struct {
 	ID      int               `json:"id"`
@@ -34,11 +37,65 @@ type instantJSON struct {
 }
 
 type traceDoc struct {
-	Schema   string           `json:"schema"`
-	NowNS    int64            `json:"now_ns"` // virtual clock at export
-	Counters map[string]int64 `json:"counters"`
-	Spans    []spanJSON       `json:"spans"`
-	Instants []instantJSON    `json:"instants"`
+	Schema  string `json:"schema"`
+	NowNS   int64  `json:"now_ns"`             // virtual clock at export
+	SampleN int    `json:"sample_n,omitempty"` // 1-in-N root sampling; absent = full fidelity
+	// SampledOut counts root records the sampler dropped, so a reader
+	// knows what fraction of activity the spans/instants represent. The
+	// count is layout-invariant (drops are per (cat,node) ordinal).
+	SampledOut uint64              `json:"sampled_out,omitempty"`
+	Counters   map[string]int64    `json:"counters"`
+	Hists      map[string]histJSON `json:"hists,omitempty"`
+	Spans      []spanJSON          `json:"spans"`
+	Instants   []instantJSON       `json:"instants"`
+}
+
+// histJSON is the canonical encoding of one streaming histogram: the
+// moments plus the non-empty log2 buckets in ascending order. "le" is
+// the bucket's inclusive upper bound (MaxInt64 marks the overflow
+// bucket).
+type histJSON struct {
+	Count   uint64           `json:"count"`
+	Sum     int64            `json:"sum"`
+	Min     int64            `json:"min"`
+	Max     int64            `json:"max"`
+	Buckets []histBucketJSON `json:"buckets"`
+}
+
+type histBucketJSON struct {
+	Le int64  `json:"le"`
+	N  uint64 `json:"n"`
+}
+
+// histDoc encodes a histogram for export; nil for an empty histogram,
+// so never-observed registered handles don't clutter the document.
+func histDoc(h *Hist) (histJSON, bool) {
+	hi := h.maxBucket()
+	if hi < 0 {
+		return histJSON{}, false
+	}
+	out := histJSON{Count: h.count, Sum: h.sum, Min: h.min, Max: h.max}
+	for i := 0; i <= hi; i++ {
+		if h.buckets[i] == 0 {
+			continue
+		}
+		out.Buckets = append(out.Buckets, histBucketJSON{Le: HistBucketUpper(i), N: h.buckets[i]})
+	}
+	return out, true
+}
+
+// histsDoc collects every non-empty histogram of the registry.
+func (t *Tracer) histsDoc() map[string]histJSON {
+	var out map[string]histJSON
+	for name, h := range t.hists {
+		if doc, ok := histDoc(h); ok {
+			if out == nil {
+				out = make(map[string]histJSON)
+			}
+			out[name] = doc
+		}
+	}
+	return out
 }
 
 // attrMap flattens attributes for export; on duplicate keys the last
@@ -49,7 +106,7 @@ func attrMap(attrs []Attr) map[string]string {
 	}
 	m := make(map[string]string, len(attrs))
 	for _, a := range attrs {
-		m[a.Key] = a.Val
+		m[a.Key] = a.Value()
 	}
 	return m
 }
@@ -63,8 +120,13 @@ func (t *Tracer) WriteJSON(w io.Writer) error {
 		Schema:   Schema,
 		NowNS:    int64(t.eng.Now()),
 		Counters: t.Counters(),
+		Hists:    t.histsDoc(),
 		Spans:    make([]spanJSON, len(t.spans)),
 		Instants: make([]instantJSON, len(t.instants)),
+	}
+	if n := t.SampleN(); n > 1 {
+		doc.SampleN = n
+		doc.SampledOut = t.SampledOut()
 	}
 	for i, s := range t.spans {
 		doc.Spans[i] = spanJSON{
@@ -124,21 +186,51 @@ func chromeTID(cat string) (int, string) {
 
 func chromePID(node int) int { return node + 1 } // NodeMaster (-1) -> 0
 
+// PerfettoRackCapNodes is the node count above which the Perfetto
+// export stops emitting one process per node and aggregates to one
+// process per rack (when the tracer knows the topology via
+// SetTopology), keeping the node id as an args attribute on every
+// event. At 1k+ nodes the per-node convention produces thousands of
+// process groups and an unusable UI; per-rack stays navigable to 10k
+// nodes.
+const PerfettoRackCapNodes = 256
+
 const usPerNS = 1e-3
 
 // WriteChromeTrace writes the trace in Chrome trace-event JSON. Spans
 // still open at export are clamped to the current virtual instant.
 // Span linkage survives the format via args["span"]/args["parent"].
+// Above PerfettoRackCapNodes distinct nodes (and with a topology set)
+// processes aggregate per rack and args["node"] carries the node id.
 func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 	now := t.eng.Now()
 	doc := ChromeDoc{DisplayTimeUnit: "ms"}
+
+	// Decide the process layout: per node, or per rack above the cap.
+	nodes := map[int]bool{}
+	for i := range t.spans {
+		nodes[t.spans[i].Node] = true
+	}
+	for i := range t.instants {
+		nodes[t.instants[i].Node] = true
+	}
+	byRack := len(t.rackOf) > 0 && len(nodes) > PerfettoRackCapNodes
+	pidOf := chromePID
+	if byRack {
+		pidOf = func(node int) int {
+			if node < 0 || node >= len(t.rackOf) {
+				return 0 // master / unknown topology -> the master process
+			}
+			return t.rackOf[node] + 1
+		}
+	}
 
 	// Metadata: name every (process, thread) track actually used.
 	type track struct{ pid, tid int }
 	pids := map[int]bool{}
 	tracks := map[track]string{}
 	note := func(node int, cat string) (int, int) {
-		pid := chromePID(node)
+		pid := pidOf(node)
 		tid, tname := chromeTID(cat)
 		pids[pid] = true
 		tracks[track{pid, tid}] = tname
@@ -158,7 +250,11 @@ func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 	for _, pid := range pidList {
 		name := "master"
 		if pid > 0 {
-			name = fmt.Sprintf("node%d", pid-1)
+			if byRack {
+				name = fmt.Sprintf("rack%d", pid-1)
+			} else {
+				name = fmt.Sprintf("node%d", pid-1)
+			}
 		}
 		doc.TraceEvents = append(doc.TraceEvents, ChromeEvent{
 			Name: "process_name", Ph: "M", PID: pid,
@@ -197,6 +293,9 @@ func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 		if s.Parent != 0 {
 			args["parent"] = fmt.Sprint(s.Parent)
 		}
+		if byRack {
+			args["node"] = fmt.Sprint(s.Node)
+		}
 		if end < 0 {
 			end = now
 			args["open"] = "true"
@@ -209,10 +308,17 @@ func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 	}
 	for _, in := range t.instants {
 		pid, tid := note(in.Node, in.Cat)
+		args := attrMap(in.Attrs)
+		if byRack {
+			if args == nil {
+				args = map[string]string{}
+			}
+			args["node"] = fmt.Sprint(in.Node)
+		}
 		doc.TraceEvents = append(doc.TraceEvents, ChromeEvent{
 			Name: in.Name, Cat: in.Cat, Ph: "i", Scope: "t",
 			TS: float64(in.At) * usPerNS, PID: pid, TID: tid,
-			Args: attrMap(in.Attrs),
+			Args: args,
 		})
 	}
 

@@ -52,7 +52,7 @@ func interpret(data []byte) *Tracer {
 	return tr
 }
 
-// FuzzCanonicalJSON checks the canonical dyrs-trace/v1 export over
+// FuzzCanonicalJSON checks the canonical dyrs-trace/v2 export over
 // arbitrary span/instant/counter histories:
 //
 //  1. the document is valid JSON;

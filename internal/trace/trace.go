@@ -16,30 +16,53 @@
 package trace
 
 import (
+	"math"
 	"strconv"
 	"strings"
 
 	"dyrs/internal/sim"
 )
 
-// Attr is one key=value span/instant attribute. Values are strings so
-// the canonical encoding never depends on float formatting subtleties
-// at export time; use the Str/Int/Float/Dur constructors.
+// Attr is one key=value span/instant attribute. Numeric values are
+// stored raw and formatted lazily at export: under sampling most
+// records are dropped at Begin, and eager strconv on the dropped path
+// was the dominant allocation cost of tracing a large run. The
+// formatting itself (strconv, shortest round-trip floats) is a pure
+// function of the value, so the canonical encoding stays deterministic.
 type Attr struct {
-	Key string
-	Val string
+	Key  string
+	str  string
+	num  int64 // int value, or float64 bits
+	kind uint8
+}
+
+const (
+	attrStr uint8 = iota
+	attrInt
+	attrFloat
+)
+
+// Value formats the attribute value.
+func (a Attr) Value() string {
+	switch a.kind {
+	case attrInt:
+		return strconv.FormatInt(a.num, 10)
+	case attrFloat:
+		return strconv.FormatFloat(math.Float64frombits(uint64(a.num)), 'g', -1, 64)
+	}
+	return a.str
 }
 
 // Str builds a string attribute.
-func Str(k, v string) Attr { return Attr{Key: k, Val: v} }
+func Str(k, v string) Attr { return Attr{Key: k, str: v} }
 
 // Int builds an integer attribute.
-func Int(k string, v int64) Attr { return Attr{Key: k, Val: strconv.FormatInt(v, 10)} }
+func Int(k string, v int64) Attr { return Attr{Key: k, num: v, kind: attrInt} }
 
 // Float builds a float attribute (shortest round-trip formatting,
 // deterministic for identical values).
 func Float(k string, v float64) Attr {
-	return Attr{Key: k, Val: strconv.FormatFloat(v, 'g', -1, 64)}
+	return Attr{Key: k, num: int64(math.Float64bits(v)), kind: attrFloat}
 }
 
 // Dur builds a duration attribute in integer nanoseconds.
@@ -65,12 +88,23 @@ type Span struct {
 // Open reports whether the span has not ended.
 func (s *Span) Open() bool { return s.End < 0 }
 
+// copyAttrs detaches a caller's variadic attribute slice before it is
+// retained in a record, so the variadic allocation can stay on the
+// caller's stack — crucial for the sampled-out path, which drops the
+// record before ever reaching here.
+func copyAttrs(attrs []Attr) []Attr {
+	if len(attrs) == 0 {
+		return nil
+	}
+	return append([]Attr(nil), attrs...)
+}
+
 // Attr returns the value of the last attribute with the given key, or
 // "" when absent.
 func (s *Span) Attr(key string) string {
 	for i := len(s.Attrs) - 1; i >= 0; i-- {
 		if s.Attrs[i].Key == key {
-			return s.Attrs[i].Val
+			return s.Attrs[i].Value()
 		}
 	}
 	return ""
@@ -99,6 +133,10 @@ type Tracer struct {
 	instants []Instant
 	counters map[string]*int64
 	res      map[*sim.Resource]*flowCounters
+	hists    map[string]*Hist
+	sample   *sampleState // nil: record every root span/instant
+	flight   *flightRing  // nil: flight recorder disarmed
+	rackOf   []int        // node -> rack for the capped Perfetto export; nil = unknown
 }
 
 // New creates a tracer and attaches it to the engine — both as the
@@ -111,6 +149,7 @@ func New(eng *sim.Engine) *Tracer {
 		eng:      eng,
 		counters: make(map[string]*int64),
 		res:      make(map[*sim.Resource]*flowCounters),
+		hists:    make(map[string]*Hist),
 	}
 	eng.SetTracer(t)
 	eng.SetFlowSink(t)
@@ -144,27 +183,61 @@ type SpanRef struct {
 	idx int
 }
 
-// Begin opens a root span.
+// Begin opens a root span. Under 1-in-N sampling (SetSampling) the
+// whole tree is kept or dropped here: a sampled-out Begin returns the
+// zero SpanRef and every child/annotation on it no-ops.
 func (t *Tracer) Begin(cat, name string, node int, attrs ...Attr) SpanRef {
 	if t == nil {
 		return SpanRef{}
 	}
+	if t.sample != nil && !t.sample.keep(cat, node) {
+		return SpanRef{}
+	}
+	return t.begin(cat, name, node, attrs)
+}
+
+// begin records a span unconditionally — the post-sampling-decision
+// path shared by root Begin and Child (children follow their root's
+// sampling fate, never their own).
+func (t *Tracer) begin(cat, name string, node int, attrs []Attr) SpanRef {
 	id := len(t.spans) + 1
 	t.spans = append(t.spans, Span{
 		ID: id, Cat: cat, Name: name, Node: node,
-		Begin: t.eng.Now(), End: -1, Attrs: attrs,
+		Begin: t.eng.Now(), End: -1, Attrs: copyAttrs(attrs),
 	})
+	if t.flight != nil {
+		t.flight.record(FlightEvent{At: t.eng.Now(), Kind: FlightSpanBegin,
+			Cat: cat, Name: name, Node: node, Span: id})
+	}
 	return SpanRef{t: t, idx: id - 1}
 }
 
-// Instant records a point event.
+// Instant records a point event, subject to the same deterministic
+// per-(category, node) sampling as root spans.
 func (t *Tracer) Instant(cat, name string, node int, attrs ...Attr) {
 	if t == nil {
 		return
 	}
+	if t.sample != nil && !t.sample.keep(cat, node) {
+		return
+	}
 	t.instants = append(t.instants, Instant{
-		Cat: cat, Name: name, Node: node, At: t.eng.Now(), Attrs: attrs,
+		Cat: cat, Name: name, Node: node, At: t.eng.Now(), Attrs: copyAttrs(attrs),
 	})
+	if t.flight != nil {
+		t.flight.record(FlightEvent{At: t.eng.Now(), Kind: FlightInstant,
+			Cat: cat, Name: name, Node: node})
+	}
+}
+
+// SetTopology records the node -> rack map the capped Perfetto export
+// aggregates processes by. Unset (or nil) keeps the one-process-per-
+// node layout at any scale.
+func (t *Tracer) SetTopology(rackOf []int) {
+	if t == nil {
+		return
+	}
+	t.rackOf = rackOf
 }
 
 // Child opens a span parented under s. A child may live on a different
@@ -174,7 +247,7 @@ func (s SpanRef) Child(cat, name string, node int, attrs ...Attr) SpanRef {
 	if s.t == nil {
 		return SpanRef{}
 	}
-	c := s.t.Begin(cat, name, node, attrs...)
+	c := s.t.begin(cat, name, node, attrs)
 	s.t.spans[c.idx].Parent = s.t.spans[s.idx].ID
 	return c
 }
@@ -201,6 +274,10 @@ func (s SpanRef) End(attrs ...Attr) {
 	}
 	sp.End = s.t.eng.Now()
 	sp.Attrs = append(sp.Attrs, attrs...)
+	if s.t.flight != nil {
+		s.t.flight.record(FlightEvent{At: sp.End, Kind: FlightSpanEnd,
+			Cat: sp.Cat, Name: sp.Name, Node: sp.Node, Span: sp.ID})
+	}
 }
 
 // Begin reports the span's begin instant, or 0 for the zero SpanRef.

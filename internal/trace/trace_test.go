@@ -82,8 +82,8 @@ func TestAttrConstructors(t *testing.T) {
 		{Float("f", 0.25), "0.25"},
 		{Dur("d", 1500*time.Millisecond), "1500000000"},
 	} {
-		if tc.attr.Val != tc.want {
-			t.Errorf("%s = %q, want %q", tc.attr.Key, tc.attr.Val, tc.want)
+		if tc.attr.Value() != tc.want {
+			t.Errorf("%s = %q, want %q", tc.attr.Key, tc.attr.Value(), tc.want)
 		}
 	}
 }
