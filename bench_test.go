@@ -805,3 +805,24 @@ func BenchmarkScale1kShards1(b *testing.B) { benchScaleShard(b, 1) }
 func BenchmarkScale1kShards2(b *testing.B) { benchScaleShard(b, 2) }
 func BenchmarkScale1kShards4(b *testing.B) { benchScaleShard(b, 4) }
 func BenchmarkScale1kShards8(b *testing.B) { benchScaleShard(b, 8) }
+
+// --- Serving macro-benchmark ---
+
+// BenchmarkServing1k drives the multi-tenant serving workload on the
+// 1,000-node preset: ~100k open-loop Zipf/diurnal block reads through
+// the coordinated cache with DYRS epoch prefetch. Run with -benchtime
+// 1x — one iteration is a complete 20-minute virtual serving day.
+func BenchmarkServing1k(b *testing.B) {
+	b.ReportAllocs()
+	opt := experiments.Serving1kOptions(benchSeed)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := experiments.RunServing(opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rep.Rows) != 1 || rep.Rows[0].Served == 0 {
+			b.Fatal("serving benchmark produced no scorecard")
+		}
+	}
+}

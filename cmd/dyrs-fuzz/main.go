@@ -1,15 +1,17 @@
 // Command dyrs-fuzz sweeps randomized scenarios through the fuzzing
 // harness (internal/harness): each seed generates a cluster topology, a
-// mixed workload and a fault schedule, runs it under DYRS twice and
-// under plain HDFS once (plus once more on the sharded multi-core
-// engine when a shard count is in play), and checks the invariant,
-// conservation, liveness, metamorphic, determinism and shard-invariance
-// oracles.
+// mixed workload and a fault schedule, runs it under the selected
+// migrating policy twice and under plain HDFS once (plus once more on
+// the sharded multi-core engine when a shard count is in play), and
+// checks the invariant, conservation, liveness, metamorphic,
+// determinism and shard-invariance oracles.
 //
 // Examples:
 //
 //	dyrs-fuzz -seeds 200                 # sweep seeds 1..200 in parallel
 //	dyrs-fuzz -seeds 20 -large           # datacenter-shaped topologies (64-256 nodes)
+//	dyrs-fuzz -seeds 25 -serving         # multi-tenant serving scenarios
+//	dyrs-fuzz -seeds 50 -policy costaware # ... under another migrating policy
 //	dyrs-fuzz -seed 17                   # check one seed, verbosely
 //	dyrs-fuzz -seed 17 -shards 4         # ... with the 4-shard invariance run
 //	dyrs-fuzz -seed 17 -repro 'faults=0;jobs=1'   # replay a shrunk repro
@@ -21,7 +23,8 @@
 //
 // On the first failing seed the harness shrinks the scenario (dropping
 // faults, then jobs, while the same oracle keeps failing) and prints a
-// one-line reproduction command carrying the shard count.
+// one-line reproduction command carrying the envelope, the policy name
+// and the shard count.
 package main
 
 import (
@@ -30,8 +33,10 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"strings"
 
 	"dyrs/internal/harness"
+	"dyrs/internal/migration"
 	"dyrs/internal/obs"
 	"dyrs/internal/runner"
 	"dyrs/internal/trace"
@@ -69,6 +74,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 	jobs := fs.Int("jobs", 0, "parallel scenario checks (<=0: GOMAXPROCS)")
 	repro := fs.String("repro", "", "keep-mask from a shrunk repro, e.g. 'faults=0,2;jobs=1' (requires -seed)")
 	large := fs.Bool("large", false, "draw datacenter-shaped scenarios (64-256 nodes, multi-rack)")
+	serving := fs.Bool("serving", false, "draw multi-tenant serving scenarios (open-loop Zipf/diurnal read stream)")
+	policy := fs.String("policy", "", "migrating policy for the oracle runs: "+
+		strings.Join(migration.BinderNames(), ", ")+" (default dyrs)")
 	shards := fs.Int("shards", 0, "engine shards for the invariance run (0: rotate 1/2/4 by seed, 1: sequential only)")
 	shrink := fs.Bool("shrink", true, "shrink failing scenarios to a minimal repro")
 	artifacts := fs.String("artifacts", ".", "directory for failure artifacts (flight-recorder dumps); empty disables")
@@ -95,33 +103,40 @@ func run(args []string, stdout, stderr io.Writer) error {
 		}()
 	}
 
+	if *policy != "" {
+		if _, err := migration.BinderByName(*policy); err != nil {
+			return err
+		}
+	}
+	if *large && *serving {
+		return fmt.Errorf("-large and -serving are mutually exclusive envelopes")
+	}
 	if *repro != "" && *seed == 0 {
 		return fmt.Errorf("-repro requires -seed")
 	}
+	base := harness.Repro{Large: *large, Serving: *serving, Policy: *policy}
 	if *seed != 0 {
-		return checkOne(stdout, *seed, *large, shardsForSeed(*shards, *seed), *repro, *shrink, *artifacts)
+		base.Seed = *seed
+		base.Shards = shardsForSeed(*shards, *seed)
+		return checkOne(stdout, base, *repro, *shrink, *artifacts)
 	}
 
 	type outcome struct {
-		seed     int64
-		shards   int
+		rep      harness.Repro
 		failures []harness.Failure
 	}
 	totalRuns := 0
 	work := make([]runner.Job, *seeds)
 	for i := 0; i < *seeds; i++ {
 		s := *start + int64(i)
-		nshards := shardsForSeed(*shards, s)
-		totalRuns += harness.OracleRunsPerSeed(nshards)
+		rep := base
+		rep.Seed = s
+		rep.Shards = shardsForSeed(*shards, s)
+		totalRuns += harness.OracleRunsPerSeed(rep.Shards)
 		work[i] = runner.Job{
 			Name: fmt.Sprintf("seed-%d", s),
 			Run: func() (any, error) {
-				sc := harness.Generate(s)
-				if *large {
-					sc = harness.GenerateLarge(s)
-				}
-				sc.Shards = nshards
-				return outcome{seed: s, shards: nshards, failures: harness.CheckScenario(sc)}, nil
+				return outcome{rep: rep, failures: harness.CheckScenario(rep.Scenario())}, nil
 			},
 		}
 	}
@@ -147,7 +162,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 			continue
 		}
 		failed++
-		reportFailure(stdout, oc.seed, *large, oc.shards, oc.failures, *shrink, *artifacts)
+		reportFailure(stdout, oc.rep, oc.failures, *shrink, *artifacts)
 	}
 	if failed > 0 {
 		return fmt.Errorf("%d of %d seeds failed", failed, *seeds)
@@ -159,13 +174,15 @@ func run(args []string, stdout, stderr io.Writer) error {
 
 // checkOne replays a single seed (optionally under a repro keep-mask)
 // and reports in detail.
-func checkOne(stdout io.Writer, seed int64, large bool, shards int, mask string, shrink bool, artifacts string) error {
-	rep, err := harness.ParseRepro(seed, mask)
+func checkOne(stdout io.Writer, base harness.Repro, mask string, shrink bool, artifacts string) error {
+	rep, err := harness.ParseRepro(base.Seed, mask)
 	if err != nil {
 		return err
 	}
-	rep.Large = large
-	rep.Shards = shards
+	rep.Large = base.Large
+	rep.Serving = base.Serving
+	rep.Policy = base.Policy
+	rep.Shards = base.Shards
 	sc := rep.Scenario()
 	fmt.Fprintf(stdout, "scenario: %s\n", sc)
 	for i, j := range sc.Jobs {
@@ -176,43 +193,52 @@ func checkOne(stdout io.Writer, seed int64, large bool, shards int, mask string,
 		fmt.Fprintf(stdout, "  fault[%d] %-14s node=%d at=%v\n", i, f.Kind, f.Node, f.At)
 	}
 	r := harness.RunScenario(sc, "DYRS")
-	fmt.Fprintf(stdout, "DYRS run: completed=%d/%d stats=%+v trace=%.12s…\n",
-		len(r.Completed), r.Submitted, r.Stats, r.TraceHash)
+	if sc.Serving {
+		fmt.Fprintf(stdout, "%s run: served=%d/%d stats=%+v trace=%.12s…\n",
+			binderName(sc.Policy), r.RequestsServed, r.RequestsIssued, r.Stats, r.TraceHash)
+	} else {
+		fmt.Fprintf(stdout, "%s run: completed=%d/%d stats=%+v trace=%.12s…\n",
+			binderName(sc.Policy), len(r.Completed), r.Submitted, r.Stats, r.TraceHash)
+	}
 	failures := harness.CheckScenario(sc)
 	if len(failures) == 0 {
-		fmt.Fprintf(stdout, "ok: seed %d passed all oracles\n", seed)
+		fmt.Fprintf(stdout, "ok: seed %d passed all oracles\n", base.Seed)
 		return nil
 	}
-	dumpFlight(stdout, seed, r.Flight, artifacts)
+	dumpFlight(stdout, base.Seed, r.Flight, artifacts)
 	// A repro replay is already reduced; only shrink the full scenario.
-	reportFailure(stdout, seed, large, shards, failures, shrink && mask == "", "")
-	return fmt.Errorf("seed %d failed %d oracle check(s)", seed, len(failures))
+	reportFailure(stdout, rep, failures, shrink && mask == "", "")
+	return fmt.Errorf("seed %d failed %d oracle check(s)", base.Seed, len(failures))
+}
+
+// binderName names the migrating policy for reports.
+func binderName(policy string) string {
+	if policy == "" {
+		return "dyrs"
+	}
+	return policy
 }
 
 // reportFailure prints a seed's oracle violations, the flight-recorder
 // dump artifact, and, when asked, the shrunk reproduction command.
-func reportFailure(stdout io.Writer, seed int64, large bool, shards int, failures []harness.Failure, shrink bool, artifacts string) {
-	fmt.Fprintf(stdout, "FAIL seed %d (%d violations):\n", seed, len(failures))
+func reportFailure(stdout io.Writer, rep harness.Repro, failures []harness.Failure, shrink bool, artifacts string) {
+	fmt.Fprintf(stdout, "FAIL seed %d policy=%s (%d violations):\n",
+		rep.Seed, binderName(rep.Policy), len(failures))
 	for _, f := range failures {
 		fmt.Fprintf(stdout, "  %s\n", f)
 	}
 	if artifacts != "" {
 		// Re-run once to capture the failing run's flight ring; scenarios
 		// are deterministic, so this reproduces the reported run exactly.
-		sc := harness.Generate(seed)
-		if large {
-			sc = harness.GenerateLarge(seed)
-		}
-		sc.Shards = shards
-		r := harness.RunScenario(sc, "DYRS")
-		dumpFlight(stdout, seed, r.Flight, artifacts)
+		r := harness.RunScenario(rep.Scenario(), "DYRS")
+		dumpFlight(stdout, rep.Seed, r.Flight, artifacts)
 	}
 	if !shrink {
 		return
 	}
 	oracle := harness.FailedOracles(failures)[0]
-	rep := harness.Shrink(seed, large, shards, oracle)
-	fmt.Fprintf(stdout, "  shrunk to %d event(s); repro: %s\n", rep.Events(), rep.Command())
+	shrunk := harness.Shrink(rep, oracle)
+	fmt.Fprintf(stdout, "  shrunk to %d event(s); repro: %s\n", shrunk.Events(), shrunk.Command())
 }
 
 // dumpFlight writes the failing run's flight-recorder tail to an

@@ -20,7 +20,19 @@ func TestSingleSeedVerbose(t *testing.T) {
 	if err := run([]string{"-seed", "7"}, &out, &errb); err != nil {
 		t.Fatalf("seed check failed: %v\n%s", err, out.String())
 	}
-	for _, want := range []string{"scenario:", "job[0]", "DYRS run:", "passed all oracles"} {
+	for _, want := range []string{"scenario:", "job[0]", "dyrs run:", "passed all oracles"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output lacks %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestSingleSeedServing(t *testing.T) {
+	var out, errb strings.Builder
+	if err := run([]string{"-seed", "3", "-serving", "-policy", "costaware"}, &out, &errb); err != nil {
+		t.Fatalf("serving seed check failed: %v\n%s", err, out.String())
+	}
+	for _, want := range []string{"serving", "costaware run: served=", "passed all oracles"} {
 		if !strings.Contains(out.String(), want) {
 			t.Errorf("output lacks %q:\n%s", want, out.String())
 		}
@@ -44,5 +56,14 @@ func TestFlagValidation(t *testing.T) {
 	}
 	if err := run([]string{"-badflag"}, &out, &errb); err == nil {
 		t.Error("unknown flag accepted")
+	}
+	if err := run([]string{"-policy", "bogus"}, &out, &errb); err == nil {
+		t.Error("unknown policy accepted")
+	}
+	if err := run([]string{"-policy", "hdfs"}, &out, &errb); err == nil {
+		t.Error("non-migrating policy accepted")
+	}
+	if err := run([]string{"-large", "-serving", "-seeds", "1"}, &out, &errb); err == nil {
+		t.Error("-large with -serving accepted")
 	}
 }

@@ -116,13 +116,22 @@ func (c *Cache) onRead(id dfs.BlockID, at cluster.NodeID) {
 	c.insert(b, at)
 }
 
-// insert caches the block at the reading node, evicting as needed.
+// insert caches the block on a disk-replica holder, evicting as needed.
+// Memory replicas live where the block resides on disk (the PACMan
+// model, and the DFS structural invariant): the holder nearest the
+// reader — the reader itself when it holds a replica — keeps the block
+// buffered, and the cluster-wide read redirect serves later readers
+// from there wherever they run.
 func (c *Cache) insert(b *dfs.Block, at cluster.NodeID) {
 	if b.Size > c.perNode {
 		return // would never fit
 	}
-	for c.used[at]+b.Size > c.perNode {
-		if !c.evictOne(at) {
+	node, ok := c.placement(b.ID, at)
+	if !ok {
+		return // no live disk replica to anchor to
+	}
+	for c.used[node]+b.Size > c.perNode {
+		if !c.evictOne(node) {
 			return // nothing evictable on this node
 		}
 	}
@@ -131,12 +140,28 @@ func (c *Cache) insert(b *dfs.Block, at cluster.NodeID) {
 	if _, resident := c.fs.MemReplica(b.ID); resident {
 		return
 	}
-	c.fs.RegisterMem(b.ID, at)
-	e := &entry{block: b, node: at, uses: 1}
+	c.fs.RegisterMem(b.ID, node)
+	e := &entry{block: b, node: node, uses: 1}
 	e.lru = c.lruList.PushFront(e)
 	c.entries[b.ID] = e
-	c.used[at] += b.Size
+	c.used[node] += b.Size
 	c.Insertions++
+}
+
+// placement picks the node to buffer the block on: the reading node if
+// it holds a live disk replica, otherwise the first live replica holder
+// in registry order (deterministic).
+func (c *Cache) placement(id dfs.BlockID, at cluster.NodeID) (cluster.NodeID, bool) {
+	live := c.fs.Replicas(id)
+	for _, r := range live {
+		if r == at {
+			return at, true
+		}
+	}
+	if len(live) == 0 {
+		return 0, false
+	}
+	return live[0], true
 }
 
 // evictOne removes one block from the given node per policy. Reports

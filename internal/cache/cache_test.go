@@ -12,7 +12,10 @@ import (
 func newFS(t *testing.T, seed int64) (*sim.Engine, *dfs.FS) {
 	t.Helper()
 	eng := sim.NewEngine(seed)
-	cl := cluster.New(eng, 4, nil)
+	// 3 nodes at replication 3: every node holds every block, so the
+	// replica-anchored cache always buffers at the reading node (0) and
+	// the per-node accounting assertions below stay exact.
+	cl := cluster.New(eng, 3, nil)
 	return eng, dfs.New(cl, dfs.DefaultConfig())
 }
 
@@ -189,6 +192,52 @@ func TestFlush(t *testing.T) {
 	c.Flush()
 	if c.Resident() != 0 || fs.MemReplicaCount() != 0 || c.UsedOn(0) != 0 {
 		t.Error("flush left state")
+	}
+}
+
+func TestPlacementAnchorsToReplicaHolder(t *testing.T) {
+	// A read from a node holding no disk replica must cache the block on
+	// a replica holder, not the reader — the DFS structural invariant
+	// (fsck) forbids memory replicas without a disk replica underneath.
+	eng := sim.NewEngine(9)
+	cl := cluster.New(eng, 8, nil)
+	fs := dfs.New(cl, dfs.DefaultConfig())
+	c, err := New(fs, 8*sim.GB, LRU)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, _ := fs.CreateFile("x", 256*sim.MB)
+	id := f.Blocks[0]
+	holders := map[cluster.NodeID]bool{}
+	for _, r := range fs.Replicas(id) {
+		holders[r] = true
+	}
+	reader := cluster.NodeID(-1)
+	for n := cluster.NodeID(0); int(n) < cl.Size(); n++ {
+		if !holders[n] {
+			reader = n
+			break
+		}
+	}
+	if reader < 0 {
+		t.Skip("every node holds a replica")
+	}
+	if err := fs.ReadBlock(reader, id, nil); err != nil {
+		t.Fatal(err)
+	}
+	eng.RunFor(10 * time.Minute)
+	loc, ok := fs.MemReplica(id)
+	if !ok {
+		t.Fatal("block not cached")
+	}
+	if !holders[loc] {
+		t.Errorf("cached on %v, which holds no disk replica", loc)
+	}
+	if c.UsedOn(reader) != 0 {
+		t.Errorf("reader charged %d bytes", c.UsedOn(reader))
+	}
+	if errs := fs.Fsck(); len(errs) > 0 {
+		t.Errorf("fsck: %v", errs)
 	}
 }
 

@@ -70,6 +70,13 @@ type Options struct {
 	// differential lever dyrs-sim/dyrs-fuzz -shards pulls to prove the
 	// sharded executor against the sequential one.
 	Shards int
+	// MigBinder, when non-empty and the policy migrates, overrides the
+	// binder backing the coordinator: a migrating internal/policy name
+	// ("dyrs", "ignem", "costaware") or "dyrs-ref" (the frozen
+	// pre-extraction DYRS binder the conformance suite differences
+	// against). The migration Config stays whatever the experiment
+	// Policy selects, so "dyrs" vs "dyrs-ref" is a pure binder swap.
+	MigBinder string
 }
 
 // DefaultOptions mirrors the paper's 7-worker testbed.
@@ -157,6 +164,15 @@ func NewEnv(policy Policy, opt Options) *Env {
 			mcfg.MaxConcurrent = 6
 		case Naive:
 			binder = migration.NewNaiveBinder()
+		}
+		if opt.MigBinder != "" {
+			b, err := migration.BinderByName(opt.MigBinder)
+			if err != nil {
+				// Misconfiguration, not a runtime condition: callers (the
+				// fuzz driver, tests) validate flag values up front.
+				panic(err)
+			}
+			binder = b
 		}
 		coord = migration.NewCoordinator(fs, mcfg, binder)
 		mgr = coord

@@ -59,6 +59,8 @@ type FullReport struct {
 	Scale []ScaleRow `json:"scale"`
 
 	ScaleShard []ScaleShardRow `json:"scaleshard"`
+
+	Serving []ServingPolicyRow `json:"serving"`
 }
 
 // HiveRowJSON is the JSON form of one Hive query result.

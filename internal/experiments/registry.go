@@ -64,6 +64,7 @@ func Registry() []Experiment {
 		iterativeExperiment(),
 		scaleExperiment(),
 		scaleShardExperiment(),
+		servingExperiment(),
 	}
 }
 

@@ -9,7 +9,7 @@ import (
 func TestRegistryShape(t *testing.T) {
 	t.Parallel()
 	reg := Registry()
-	if len(reg) != 13 {
+	if len(reg) != 14 {
 		t.Fatalf("registry has %d experiments", len(reg))
 	}
 	seen := map[string]bool{}
@@ -32,7 +32,7 @@ func TestRegistryShape(t *testing.T) {
 		"fig1", "fig2", "fig3", "fig4", "table1", "fig5", "fig6", "fig7",
 		"fig8", "fig9", "table2", "fig10", "fig11",
 		"trace", "hive", "swim", "motivation", "order", "hotcold", "iterative", "scale",
-		"scaleshard",
+		"scaleshard", "serving",
 	} {
 		if !seen[want] {
 			t.Errorf("no experiment covers %q", want)

@@ -1,0 +1,107 @@
+package harness
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"dyrs/internal/experiments"
+)
+
+// TestDYRSPolicyConformance is the differential proof behind the policy
+// extraction: the DYRS target selection routed through the policy.Policy
+// interface (binder "dyrs") must be byte-identical — same canonical
+// trace hash, same stats, same counters, same completion set — to the
+// frozen pre-refactor coordinator logic (binder "dyrs-ref") on every
+// scenario. 60 fuzz seeds, rotating the engine shard count through
+// {1, 2, 4} so the equivalence holds sequential and sharded.
+func TestDYRSPolicyConformance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("60-seed differential suite is not short")
+	}
+	for seed := int64(1); seed <= 60; seed++ {
+		seed := seed
+		shards := shardRotationFor(seed)
+		t.Run(fmt.Sprintf("seed=%d/shards=%d", seed, shards), func(t *testing.T) {
+			t.Parallel()
+			sc := Generate(seed)
+			sc.Shards = shards
+
+			ext := sc
+			ext.Policy = "dyrs"
+			ref := sc
+			ref.Policy = "dyrs-ref"
+
+			re := RunScenario(ext, experiments.DYRS)
+			rr := RunScenario(ref, experiments.DYRS)
+			diffRuns(t, re, rr)
+		})
+	}
+}
+
+// TestDYRSPolicyConformanceServing extends the differential proof to the
+// serving envelope: the open-loop request stream, epoch prefetch cycle
+// and coordinated cache must not surface any divergence between the
+// extracted policy and the frozen reference either.
+func TestDYRSPolicyConformanceServing(t *testing.T) {
+	if testing.Short() {
+		t.Skip("differential suite is not short")
+	}
+	for seed := int64(1); seed <= 12; seed++ {
+		seed := seed
+		shards := shardRotationFor(seed)
+		t.Run(fmt.Sprintf("seed=%d/shards=%d", seed, shards), func(t *testing.T) {
+			t.Parallel()
+			sc := GenerateServing(seed)
+			sc.Shards = shards
+
+			ext := sc
+			ext.Policy = "dyrs"
+			ref := sc
+			ref.Policy = "dyrs-ref"
+
+			re := RunScenario(ext, experiments.DYRS)
+			rr := RunScenario(ref, experiments.DYRS)
+			if re.RequestsServed != rr.RequestsServed {
+				t.Errorf("served: extracted %d, reference %d", re.RequestsServed, rr.RequestsServed)
+			}
+			diffRuns(t, re, rr)
+		})
+	}
+}
+
+// shardRotationFor mirrors the fuzz sweep's shard schedule so the
+// conformance matrix covers 1, 2 and 4 shards in equal measure.
+func shardRotationFor(seed int64) int {
+	return [...]int{1, 2, 4}[seed%3]
+}
+
+// diffRuns asserts byte-identity of the oracle-relevant observations of
+// two runs of the same scenario under different binders.
+func diffRuns(t *testing.T, re, rr *RunResult) {
+	t.Helper()
+	if re.TraceHash != rr.TraceHash {
+		t.Errorf("trace hash: extracted %.12s…, reference %.12s…", re.TraceHash, rr.TraceHash)
+	}
+	if re.Stats != rr.Stats {
+		t.Errorf("stats: extracted %+v, reference %+v", re.Stats, rr.Stats)
+	}
+	if !reflect.DeepEqual(re.Counters, rr.Counters) {
+		for k, v := range re.Counters {
+			if rr.Counters[k] != v {
+				t.Errorf("counter %s: extracted %d, reference %d", k, v, rr.Counters[k])
+			}
+		}
+		for k, v := range rr.Counters {
+			if _, ok := re.Counters[k]; !ok {
+				t.Errorf("counter %s: only in reference (%d)", k, v)
+			}
+		}
+	}
+	if !reflect.DeepEqual(re.Completed, rr.Completed) {
+		t.Errorf("completed: extracted %v, reference %v", re.Completed, rr.Completed)
+	}
+	if re.EndTime != rr.EndTime {
+		t.Errorf("end time: extracted %v, reference %v", re.EndTime, rr.EndTime)
+	}
+}

@@ -346,7 +346,7 @@ func TestShrinkWithSyntheticPredicate(t *testing.T) {
 	// Fails whenever at least one fault and one job remain: the minimum
 	// is exactly one of each.
 	calls := 0
-	rep := ShrinkWith(seed, false, func(sc Scenario) bool {
+	rep := ShrinkWith(Repro{Seed: seed}, func(sc Scenario) bool {
 		calls++
 		return len(sc.Faults) >= 1 && len(sc.Jobs) >= 1
 	})

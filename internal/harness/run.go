@@ -26,6 +26,11 @@ type RunResult struct {
 	Submitted int
 	// Completed lists the names of jobs that reached JobDone, sorted.
 	Completed []string
+	// RequestsIssued/RequestsServed count the open-loop serving stream
+	// (serving scenarios only; zero otherwise). Serving liveness demands
+	// they match, and the metamorphic oracle demands HDFS serves the
+	// same count.
+	RequestsIssued, RequestsServed int
 	// SubmitErrors records synchronous submission failures.
 	SubmitErrors []string
 	// CheckpointFsck aggregates Fsck violations observed mid-run (one
@@ -97,21 +102,12 @@ func buildSpec(env *experiments.Env, j JobSpec) compute.JobSpec {
 // anomaly (timeouts, submission errors, fsck violations) is recorded in
 // the result for the oracles to judge.
 func RunScenario(sc Scenario, policy experiments.Policy) *RunResult {
-	res := &RunResult{Policy: policy, Submitted: len(sc.Jobs)}
-	opt := experiments.Options{
-		Workers:   sc.Workers,
-		Racks:     sc.Racks,
-		Seed:      sc.Seed,
-		SlowNodes: sc.SlowNodes,
-		Trace:     true,
-		Shards:    sc.Shards,
+	if sc.Serving {
+		return runServingScenario(sc, policy)
 	}
-	env := experiments.NewEnv(policy, opt)
+	res := &RunResult{Policy: policy, Submitted: len(sc.Jobs)}
+	env := newScenarioEnv(sc, policy)
 	defer env.Close()
-	// Arm the flight recorder so a failing scenario leaves its last
-	// moments behind. Sampling stays off: the span-tally oracles need
-	// the full trace.
-	env.Tracer().SetFlightRecorder(512)
 	if sc.Heartbeats {
 		env.FS.EnableHeartbeats(dfs.DefaultLivenessConfig())
 		defer env.FS.DisableHeartbeats()
@@ -145,8 +141,50 @@ func RunScenario(sc Scenario, policy experiments.Policy) *RunResult {
 		})
 	}
 
-	// Fault schedule, with a structural fsck checkpoint one second after
-	// each fault.
+	scheduleFaults(env, sc, res)
+
+	// Run to completion (or horizon), then drain: give in-flight
+	// migrations and evictions time to settle, then force a scavenging
+	// pass so orphaned buffers are reclaimed deterministically.
+	_ = env.WaitJobs(len(sc.Jobs), sim.Duration(sc.Horizon))
+	env.Eng.RunFor(90 * time.Second)
+	if env.Coord != nil {
+		env.Coord.ScavengeAll()
+	}
+	env.Eng.RunFor(10 * time.Second)
+
+	// Observations.
+	for _, j := range env.FW.Results() {
+		if j.State == compute.JobDone {
+			res.Completed = append(res.Completed, j.Spec.Name)
+		}
+	}
+	sort.Strings(res.Completed)
+	observeRun(env, res)
+	return res
+}
+
+// newScenarioEnv builds the traced environment for a scenario run, with
+// the flight recorder armed so a failing scenario leaves its last
+// moments behind. Sampling stays off: the span-tally oracles need the
+// full trace.
+func newScenarioEnv(sc Scenario, policy experiments.Policy) *experiments.Env {
+	env := experiments.NewEnv(policy, experiments.Options{
+		Workers:   sc.Workers,
+		Racks:     sc.Racks,
+		Seed:      sc.Seed,
+		SlowNodes: sc.SlowNodes,
+		Trace:     true,
+		Shards:    sc.Shards,
+		MigBinder: sc.Policy,
+	})
+	env.Tracer().SetFlightRecorder(512)
+	return env
+}
+
+// scheduleFaults enqueues the scenario's fault schedule, with a
+// structural fsck checkpoint one second after each fault.
+func scheduleFaults(env *experiments.Env, sc Scenario, res *RunResult) {
 	for _, f := range sc.Faults {
 		f := f
 		env.Eng.At(sim.Time(f.At), func() {
@@ -185,24 +223,12 @@ func RunScenario(sc Scenario, policy experiments.Policy) *RunResult {
 			}
 		})
 	}
+}
 
-	// Run to completion (or horizon), then drain: give in-flight
-	// migrations and evictions time to settle, then force a scavenging
-	// pass so orphaned buffers are reclaimed deterministically.
-	_ = env.WaitJobs(len(sc.Jobs), sim.Duration(sc.Horizon))
-	env.Eng.RunFor(90 * time.Second)
-	if env.Coord != nil {
-		env.Coord.ScavengeAll()
-	}
-	env.Eng.RunFor(10 * time.Second)
-
-	// Observations.
-	for _, j := range env.FW.Results() {
-		if j.State == compute.JobDone {
-			res.Completed = append(res.Completed, j.Spec.Name)
-		}
-	}
-	sort.Strings(res.Completed)
+// observeRun fills the oracle-relevant end-of-run observations shared
+// by the job and serving paths: fsck, memory state, migration stats,
+// counters, span tallies and the canonical trace hash.
+func observeRun(env *experiments.Env, res *RunResult) {
 	res.FinalFsck = nil
 	for _, err := range env.FS.Fsck() {
 		res.FinalFsck = append(res.FinalFsck, err.Error())
@@ -240,6 +266,47 @@ func RunScenario(sc Scenario, policy experiments.Policy) *RunResult {
 	res.TraceHash = traceHash(tr)
 	res.Flight = tr.FlightEvents()
 	res.EndTime = env.Eng.Now()
+}
+
+// servingLoadOptions is the fixed driver tuning for serving scenarios:
+// a modest cache, top-half epoch prefetch, and a drain long enough for
+// queue tails to clear — hot-block reads funnel through the few replica
+// holders' NICs, so a node death or interference burst can leave a
+// multi-minute backlog behind the horizon.
+func servingLoadOptions() experiments.ServingLoadOptions {
+	return experiments.ServingLoadOptions{
+		CacheBudget:  2 * sim.GB,
+		PrefetchFrac: 0.5,
+		Epochs:       3,
+		Drain:        5 * time.Minute,
+	}
+}
+
+// runServingScenario executes a serving scenario: the drawn open-loop
+// request stream through the shared serving driver, under the
+// scenario's fault schedule.
+func runServingScenario(sc Scenario, policy experiments.Policy) *RunResult {
+	res := &RunResult{Policy: policy}
+	env := newScenarioEnv(sc, policy)
+	defer env.Close()
+	if sc.Heartbeats {
+		env.FS.EnableHeartbeats(dfs.DefaultLivenessConfig())
+		defer env.FS.DisableHeartbeats()
+	}
+
+	scheduleFaults(env, sc, res)
+
+	stream := workload.GenerateServing(sc.ServingSpec, sc.Seed)
+	res.RequestsIssued = len(stream.Requests)
+	res.InputBytes = sim.Bytes(sc.ServingSpec.TotalBlocks()) * env.FS.Config().BlockSize
+	row, err := experiments.RunServingLoad(env, stream, servingLoadOptions())
+	if err != nil {
+		res.SubmitErrors = append(res.SubmitErrors, err.Error())
+	} else {
+		res.RequestsServed = row.Served
+	}
+
+	observeRun(env, res)
 	return res
 }
 

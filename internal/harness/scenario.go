@@ -33,6 +33,7 @@ import (
 	"time"
 
 	"dyrs/internal/sim"
+	"dyrs/internal/workload"
 )
 
 // JobKind enumerates the workload shapes the generator mixes.
@@ -143,6 +144,22 @@ type Scenario struct {
 	// (dyrs-fuzz -shards), never drawn by generate, so existing repro
 	// masks stay stable.
 	Shards int
+	// Policy names the migration binder the migrating oracle runs use: a
+	// migrating internal/policy name ("dyrs", "ignem", "costaware") or
+	// "dyrs-ref", the frozen pre-extraction DYRS binder the conformance
+	// suite differences against. Empty means "dyrs". Set by the driver
+	// (dyrs-fuzz -policy), never drawn by generate, so repro masks stay
+	// stable and carry the policy explicitly.
+	Policy string
+	// Serving marks a serving-workload scenario (see GenerateServing):
+	// instead of compute jobs, the run drives ServingSpec's open-loop
+	// multi-tenant read stream through the coordinated cache, with the
+	// migrating policy prefetching the popularity head per epoch. The
+	// oracle battery swaps job completion for request service: every
+	// issued request must be served, and DYRS vs HDFS must serve the
+	// same count.
+	Serving     bool
+	ServingSpec workload.ServingSpec
 	// SlowNodes scales the disk bandwidth of fixed-slow hardware
 	// (node index -> scale < 1).
 	SlowNodes map[int]float64
@@ -165,8 +182,17 @@ func (sc Scenario) String() string {
 	if sc.Shards > 1 {
 		shards = fmt.Sprintf(" shards=%d", sc.Shards)
 	}
-	return fmt.Sprintf("seed=%d workers=%d%s%s slow=%d jobs=%d faults=%d hb=%v",
-		sc.Seed, sc.Workers, size, shards, len(sc.SlowNodes), len(sc.Jobs), len(sc.Faults), sc.Heartbeats)
+	pol := ""
+	if sc.Policy != "" {
+		pol = " policy=" + sc.Policy
+	}
+	if sc.Serving {
+		return fmt.Sprintf("seed=%d serving workers=%d%s%s slow=%d files=%d rate=%.1f/s faults=%d hb=%v",
+			sc.Seed, sc.Workers, shards, pol, len(sc.SlowNodes),
+			sc.ServingSpec.Files, sc.ServingSpec.MeanRate, len(sc.Faults), sc.Heartbeats)
+	}
+	return fmt.Sprintf("seed=%d workers=%d%s%s%s slow=%d jobs=%d faults=%d hb=%v",
+		sc.Seed, sc.Workers, size, shards, pol, len(sc.SlowNodes), len(sc.Jobs), len(sc.Faults), sc.Heartbeats)
 }
 
 // Generate draws the testbed-scale scenario for a seed (5-8 workers,
@@ -259,6 +285,64 @@ func generate(seed int64, large bool) Scenario {
 			f.Kind = FaultSlaveRestart
 		}
 		if f.Kind == FaultNodeDeath {
+			deaths++
+		}
+		if f.Kind == FaultInterference {
+			f.Dur = time.Duration(5+rng.Intn(26)) * time.Second
+			f.Streams = 1 + rng.Intn(2)
+			f.Weight = 1 + 1.5*rng.Float64()
+		}
+		sc.Faults = append(sc.Faults, f)
+	}
+	return sc
+}
+
+// GenerateServing draws a serving-workload scenario: a testbed-scale
+// cluster serving an open-loop Zipf/diurnal multi-tenant read stream
+// (see internal/workload's serving draw), with the usual hardware
+// heterogeneity and fault schedule. Deterministic per seed, drawn from
+// an independent stream so serving seed N is unrelated to the job
+// envelopes' seed N. The request stream itself is regenerated inside
+// the run from ServingSpec+Seed, so a serving Scenario stays pure data.
+func GenerateServing(seed int64) Scenario {
+	rng := rand.New(rand.NewSource(seed ^ 0x53e1))
+	spec := workload.DefaultServingSpec()
+	spec.Files = 12 + rng.Intn(21)        // 12..32
+	spec.BlocksPerFile = 2 + rng.Intn(3)  // 2..4
+	spec.ZipfS = 0.9 + 0.4*rng.Float64()  // 0.9..1.3
+	spec.MeanRate = 1.5 + 2*rng.Float64() // 1.5..3.5 req/s (below saturation)
+	spec.DiurnalAmp = 0.8 * rng.Float64()
+	spec.PeakPhase = rng.Float64()
+	spec.Horizon = 3 * time.Minute
+	sc := Scenario{
+		Seed:        seed,
+		Serving:     true,
+		ServingSpec: spec,
+		Workers:     5 + rng.Intn(4),
+		Horizon:     spec.Horizon + 3*time.Minute,
+	}
+	if n := rng.Intn(3); n > 0 {
+		sc.SlowNodes = make(map[int]float64)
+		for i := 0; i < n; i++ {
+			sc.SlowNodes[rng.Intn(sc.Workers)] = 0.3 + 0.5*rng.Float64()
+		}
+	}
+	sc.Heartbeats = rng.Intn(2) == 0
+
+	// Faults land in the first half of the serving day; at most one node
+	// death (the runtime guard additionally keeps four nodes alive).
+	nfaults := rng.Intn(4)
+	deaths := 0
+	for i := 0; i < nfaults; i++ {
+		f := Fault{
+			Kind: FaultKind(rng.Intn(int(numFaultKinds))),
+			At:   time.Duration(2+rng.Intn(89)) * time.Second,
+			Node: rng.Intn(sc.Workers),
+		}
+		if f.Kind == FaultNodeDeath {
+			if deaths >= 1 {
+				f.Kind = FaultSlaveRestart
+			}
 			deaths++
 		}
 		if f.Kind == FaultInterference {

@@ -14,17 +14,25 @@ import (
 // a repro line is stable across machines and runs.
 type Repro struct {
 	Seed       int64
-	Large      bool  // regenerate from the large-topology envelope
-	Shards     int   // engine shard count the failure was observed at (0/1: sequential)
-	KeepFaults []int // nil: all faults
-	KeepJobs   []int // nil: all jobs
+	Large      bool   // regenerate from the large-topology envelope
+	Serving    bool   // regenerate from the serving-workload envelope
+	Policy     string // migration binder the failure was observed under ("": dyrs)
+	Shards     int    // engine shard count the failure was observed at (0/1: sequential)
+	KeepFaults []int  // nil: all faults
+	KeepJobs   []int  // nil: all jobs
 }
 
 // Scenario materializes the repro by generating the seed's scenario and
-// applying the keep-masks and shard count.
+// applying the keep-masks, policy and shard count.
 func (r Repro) Scenario() Scenario {
-	sc := generate(r.Seed, r.Large)
+	var sc Scenario
+	if r.Serving {
+		sc = GenerateServing(r.Seed)
+	} else {
+		sc = generate(r.Seed, r.Large)
+	}
 	sc.Shards = r.Shards
+	sc.Policy = r.Policy
 	if r.KeepFaults != nil {
 		sc.Faults = pick(sc.Faults, r.KeepFaults)
 	}
@@ -64,20 +72,29 @@ func (r Repro) String() string {
 	return strings.Join(parts, ";")
 }
 
-// Command renders the full one-line reproduction command.
+// Command renders the full one-line reproduction command, carrying the
+// envelope, the policy name and the shard count the failure was
+// observed under.
 func (r Repro) Command() string {
 	size := ""
 	if r.Large {
 		size = " -large"
+	}
+	if r.Serving {
+		size = " -serving"
+	}
+	pol := ""
+	if r.Policy != "" {
+		pol = " -policy " + r.Policy
 	}
 	shards := ""
 	if r.Shards > 1 {
 		shards = fmt.Sprintf(" -shards %d", r.Shards)
 	}
 	if mask := r.String(); mask != "" {
-		return fmt.Sprintf("dyrs-fuzz%s%s -seed %d -repro '%s'", size, shards, r.Seed, mask)
+		return fmt.Sprintf("dyrs-fuzz%s%s%s -seed %d -repro '%s'", size, pol, shards, r.Seed, mask)
 	}
-	return fmt.Sprintf("dyrs-fuzz%s%s -seed %d", size, shards, r.Seed)
+	return fmt.Sprintf("dyrs-fuzz%s%s%s -seed %d", size, pol, shards, r.Seed)
 }
 
 func joinInts(xs []int) string {
@@ -133,15 +150,16 @@ func ParseRepro(seed int64, s string) (Repro, error) {
 	return r, nil
 }
 
-// Shrink minimizes a failing seed's scenario while the named oracle
-// keeps failing, and returns the reduced repro. large selects the
-// generation envelope the seed was drawn from; shards the engine shard
-// count the failure was observed at (threaded through every candidate
-// run, so shard-invariance failures shrink too). It assumes the full
-// scenario currently fails that oracle (as reported by CheckScenario).
-func Shrink(seed int64, large bool, shards int, oracle string) Repro {
-	r := ShrinkWith(seed, large, func(sc Scenario) bool {
-		sc.Shards = shards
+// Shrink minimizes a failing scenario while the named oracle keeps
+// failing, and returns the reduced repro. base carries the seed, the
+// generation envelope (Large/Serving), the policy and the shard count
+// the failure was observed under — all threaded through every candidate
+// run, so envelope- and policy-specific failures shrink too. It assumes
+// the full scenario currently fails that oracle (as reported by
+// CheckScenario).
+func Shrink(base Repro, oracle string) Repro {
+	base.KeepFaults, base.KeepJobs = nil, nil
+	return ShrinkWith(base, func(sc Scenario) bool {
 		for _, f := range CheckScenario(sc) {
 			if f.Oracle == oracle {
 				return true
@@ -149,27 +167,27 @@ func Shrink(seed int64, large bool, shards int, oracle string) Repro {
 		}
 		return false
 	})
-	r.Shards = shards
-	return r
 }
 
-// ShrinkWith is the policy-free reduction core: greedy delta debugging
+// ShrinkWith is the oracle-free reduction core: greedy delta debugging
 // that first drops faults, then jobs (keeping at least one job), as
 // long as pred still holds on the reduced scenario. Exposed separately
-// so the algorithm is testable with synthetic predicates.
-func ShrinkWith(seed int64, large bool, pred func(Scenario) bool) Repro {
-	full := generate(seed, large)
-	r := Repro{
-		Seed:       seed,
-		Large:      large,
-		KeepFaults: seq(len(full.Faults)),
-		KeepJobs:   seq(len(full.Jobs)),
-	}
+// so the algorithm is testable with synthetic predicates. Serving
+// scenarios have no job list, so only the fault mask shrinks there.
+func ShrinkWith(base Repro, pred func(Scenario) bool) Repro {
+	full := base.Scenario()
+	r := base
+	r.KeepFaults = seq(len(full.Faults))
+	r.KeepJobs = seq(len(full.Jobs))
 	r.KeepFaults = minimize(r.KeepFaults, 0, func(keep []int) bool {
-		return pred(Repro{Seed: seed, Large: large, KeepFaults: keep, KeepJobs: r.KeepJobs}.Scenario())
+		cand := r
+		cand.KeepFaults = keep
+		return pred(cand.Scenario())
 	})
 	r.KeepJobs = minimize(r.KeepJobs, 1, func(keep []int) bool {
-		return pred(Repro{Seed: seed, Large: large, KeepFaults: r.KeepFaults, KeepJobs: keep}.Scenario())
+		cand := r
+		cand.KeepJobs = keep
+		return pred(cand.Scenario())
 	})
 	return r
 }

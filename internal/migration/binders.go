@@ -1,19 +1,36 @@
 package migration
 
 import (
+	"fmt"
+	"sort"
+
 	"dyrs/internal/cluster"
+	"dyrs/internal/policy"
 	"dyrs/internal/sim"
 	"dyrs/internal/trace"
 )
 
-// DYRSBinder implements the paper's binding policy: migrations stay
-// pending at the master for as long as possible; a background thread
-// periodically re-runs Algorithm 1 to set the target replica of every
-// pending block to the node expected to finish it earliest; and a block
-// is bound to a slave only when that slave pulls work and is the block's
-// current target (§III-A).
-type DYRSBinder struct {
-	c *Coordinator
+// PolicyBinder drives any policy.Policy as a migration binder. It owns
+// everything the paper's master does around the decision — the pending
+// list with O(1) tombstoning, the per-target pull buckets, the
+// input-change gate, the background update ticker — and delegates the
+// decision itself (which replica migrates where) to the policy's
+// Begin/Assign pass.
+//
+// Policies with BindImmediately() == true (Ignem) skip the pending
+// machinery entirely: OnMigrate assigns and enqueues on the spot, and
+// no update ticker runs.
+//
+// With policy.DYRS this binder is byte-identical to the frozen
+// pre-extraction ReferenceDYRSBinder — the differential conformance
+// suite in internal/harness pins traces, stats and counters across 60
+// fuzz seeds at shard counts 1/2/4.
+type PolicyBinder struct {
+	c   *Coordinator
+	pol policy.Policy
+	// views is the reusable dense NodeView table handed to the policy
+	// each pass.
+	views []policy.NodeView
 	// pending is the master's unbound-block list, in FIFO arrival order
 	// (reordered only by the configured OrderPolicy). Entries are
 	// tombstoned in place when bound or removed (bi.inPending cleared)
@@ -48,36 +65,123 @@ type DYRSBinder struct {
 	primed        bool
 	skipped       int
 
-	// Reusable Algorithm 1 state, indexed by dense NodeID; replaces the
-	// per-pass map allocations that dominated the master's CPU at scale.
-	finish   []float64
-	perByte  []float64
-	estValid []bool
-	repBuf   []cluster.NodeID
+	// repBuf is the reusable live-replica scratch handed to the policy;
+	// per-pass numeric state lives inside the policy itself.
+	repBuf []cluster.NodeID
 }
 
 // maxSkippedPasses bounds how many consecutive ticker passes the
 // input-change gate may skip before forcing a full Algorithm 1 pass.
 const maxSkippedPasses = 8
 
-// NewDYRSBinder returns the DYRS binding policy.
-func NewDYRSBinder() *DYRSBinder { return &DYRSBinder{} }
+// DYRSBinder is the paper's binding policy — the PolicyBinder running
+// the extracted policy.DYRS. The alias keeps the pre-extraction name
+// working at every call site.
+type DYRSBinder = PolicyBinder
+
+// NewDYRSBinder returns the DYRS binding policy: delayed binding with
+// Algorithm 1 earliest-finish targeting (§III-A).
+func NewDYRSBinder() *PolicyBinder { return NewPolicyBinder(policy.NewDYRS()) }
+
+// NewPolicyBinder wraps a target-selection policy as a binder. The
+// policy must migrate (policy.HDFS and other Migrates() == false
+// policies run no framework at all).
+func NewPolicyBinder(p policy.Policy) *PolicyBinder {
+	if !p.Migrates() {
+		panic(fmt.Sprintf("migration: policy %s does not migrate; run without a coordinator instead", p.Name()))
+	}
+	return &PolicyBinder{pol: p}
+}
+
+// BinderByName maps a policy name to a binder: any migrating
+// internal/policy name ("dyrs", "ignem", "costaware"), or "dyrs-ref"
+// for the frozen pre-extraction reference implementation.
+func BinderByName(name string) (Binder, error) {
+	if name == "dyrs-ref" {
+		return NewReferenceDYRSBinder(), nil
+	}
+	p, err := policy.New(name)
+	if err != nil {
+		return nil, err
+	}
+	if !p.Migrates() {
+		return nil, fmt.Errorf("migration: policy %q does not migrate; use the HDFS experiment policy instead", name)
+	}
+	return NewPolicyBinder(p), nil
+}
+
+// BinderNames lists every name BinderByName accepts, sorted.
+func BinderNames() []string {
+	names := []string{"dyrs-ref"}
+	for _, n := range policy.Names() {
+		if p, err := policy.New(n); err == nil && p.Migrates() {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	return names
+}
 
 // Name implements Binder.
-func (b *DYRSBinder) Name() string { return "DYRS" }
+func (b *PolicyBinder) Name() string { return b.pol.Name() }
 
-func (b *DYRSBinder) attach(c *Coordinator) {
+// Policy returns the wrapped target-selection policy.
+func (b *PolicyBinder) Policy() policy.Policy { return b.pol }
+
+func (b *PolicyBinder) attach(c *Coordinator) {
 	b.c = c
 	b.targets = make([][]*blockInfo, c.cl.Size())
 	b.heads = make([]int, c.cl.Size())
-	// The target-update thread runs off the critical path of
-	// master-slave coordination (§III-D).
-	b.ticker = sim.NewTicker(c.eng, c.cfg.TargetUpdateInterval, b.UpdateTargets)
+	if !b.pol.BindImmediately() {
+		// The target-update thread runs off the critical path of
+		// master-slave coordination (§III-D). Immediate policies decide
+		// at OnMigrate and need no background pass.
+		b.ticker = sim.NewTicker(c.eng, c.cfg.TargetUpdateInterval, b.UpdateTargets)
+	}
 }
 
-// OnMigrate adds blocks to the pending list and refreshes targets so the
-// immediately following pulls see them.
-func (b *DYRSBinder) OnMigrate(blocks []*blockInfo) {
+// beginPass snapshots the master's heartbeat state into the policy's
+// view: liveness, per-byte estimates, queue occupancy.
+func (b *PolicyBinder) beginPass() {
+	n := b.c.cl.Size()
+	if len(b.views) < n {
+		b.views = make([]policy.NodeView, n)
+	}
+	for _, node := range b.c.cl.Nodes() {
+		i := int(node.ID)
+		if !node.Alive() {
+			b.views[i].Alive = false
+			continue
+		}
+		per, queued := b.c.Estimate(node.ID)
+		b.views[i] = policy.NodeView{Alive: true, PerByte: per, Queued: queued}
+	}
+	b.pol.Begin(policy.View{
+		Nodes:    b.views[:n],
+		StdBlock: b.c.fs.Config().BlockSize,
+		Rand:     b.c.eng.Rand(),
+	})
+}
+
+// OnMigrate adds blocks to the pending list and refreshes targets so
+// the immediately following pulls see them — or, for immediate
+// policies, assigns and enqueues on the spot.
+func (b *PolicyBinder) OnMigrate(blocks []*blockInfo) {
+	if b.pol.BindImmediately() {
+		b.beginPass()
+		for _, bi := range blocks {
+			b.repBuf = b.c.fs.LiveReplicas(bi.id, b.repBuf[:0])
+			target, ok := b.pol.Assign(policy.Request{Block: bi.id, Size: bi.size, Replicas: b.repBuf})
+			if !ok {
+				b.c.transition(bi, stateNone)
+				b.c.stats.Dropped++
+				b.c.dropTrace(bi, "no-replica")
+				continue
+			}
+			b.c.slaves[int(target)].enqueue(bi)
+		}
+		return
+	}
 	for _, bi := range blocks {
 		if bi.inPending {
 			continue
@@ -93,7 +197,7 @@ func (b *DYRSBinder) OnMigrate(blocks []*blockInfo) {
 // FIFO order, up to the free queue space. Blocks targeted elsewhere stay
 // pending even if this slave has room — leaving a slow node idle beats
 // creating a straggler (§III-A2).
-func (b *DYRSBinder) OnPull(n cluster.NodeID, space int) []*blockInfo {
+func (b *PolicyBinder) OnPull(n cluster.NodeID, space int) []*blockInfo {
 	if space <= 0 || len(b.pending) == b.dead {
 		return nil
 	}
@@ -119,7 +223,7 @@ func (b *DYRSBinder) OnPull(n cluster.NodeID, space int) []*blockInfo {
 
 // Remove discards a pending block. The list entry is tombstoned (O(1))
 // and reclaimed at the next full pass.
-func (b *DYRSBinder) Remove(bi *blockInfo) {
+func (b *PolicyBinder) Remove(bi *blockInfo) {
 	if !bi.inPending {
 		return
 	}
@@ -129,10 +233,10 @@ func (b *DYRSBinder) Remove(bi *blockInfo) {
 }
 
 // PendingCount implements Binder.
-func (b *DYRSBinder) PendingCount() int { return len(b.pending) - b.dead }
+func (b *PolicyBinder) PendingCount() int { return len(b.pending) - b.dead }
 
 // Reset implements Binder (master restart).
-func (b *DYRSBinder) Reset() {
+func (b *PolicyBinder) Reset() {
 	for _, bi := range b.pending {
 		bi.inPending = false
 	}
@@ -145,16 +249,14 @@ func (b *DYRSBinder) Reset() {
 	b.pendGen++
 }
 
-// UpdateTargets is Algorithm 1: greedily set each pending block's target
-// to the replica location where it is expected to finish migrating
-// earliest, keeping a running per-node finish-time estimate.
-//
-// Per the paper, each node's finish time is initialized to
-// migTime[node] × (numQueued[node]+1) from the latest heartbeat state,
-// and choosing a target uses "the node where assigning the block would
-// result in the lowest new completion time", i.e. finish + migTime for
-// this block's size.
-func (b *DYRSBinder) UpdateTargets() {
+// UpdateTargets is one full targeting pass: reclaim tombstones, apply
+// the cross-job ordering policy, then run the policy's Begin/Assign
+// pass over the pending list, rebuilding the per-node pull buckets.
+// With policy.DYRS this is exactly the paper's Algorithm 1: each node's
+// finish time initialized to migTime[node] × (numQueued[node]+1) from
+// the latest heartbeat state, each block targeting "the node where
+// assigning the block would result in the lowest new completion time".
+func (b *PolicyBinder) UpdateTargets() {
 	if len(b.pending) == b.dead {
 		// Nothing live. Drop any remaining tombstones so an idle binder
 		// holds no stale references.
@@ -199,44 +301,15 @@ func (b *DYRSBinder) UpdateTargets() {
 	// Apply the configured cross-job ordering policy before the greedy
 	// pass; with FIFO this is a no-op (§III, future-work extension).
 	b.c.orderPending(b.pending)
-	n := b.c.cl.Size()
-	if len(b.finish) < n {
-		b.finish = make([]float64, n)
-		b.perByte = make([]float64, n)
-		b.estValid = make([]bool, n)
-	}
-	std := float64(b.c.fs.Config().BlockSize)
-	for _, node := range b.c.cl.Nodes() {
-		i := int(node.ID)
-		if !node.Alive() {
-			b.estValid[i] = false
-			continue
-		}
-		per, queued := b.c.Estimate(node.ID)
-		b.perByte[i] = per
-		b.finish[i] = per * std * float64(queued+1)
-		b.estValid[i] = true
-	}
+	b.beginPass()
 	for i := range b.targets {
 		b.targets[i] = b.targets[i][:0]
 		b.heads[i] = 0
 	}
 	for _, bi := range b.pending {
-		best := cluster.NodeID(-1)
-		bestFinish := 0.0
-		size := float64(bi.size)
 		b.repBuf = b.c.fs.LiveReplicas(bi.id, b.repBuf[:0])
-		for _, loc := range b.repBuf {
-			if !b.estValid[int(loc)] {
-				continue
-			}
-			f := b.finish[int(loc)] + b.perByte[int(loc)]*size
-			if best < 0 || f < bestFinish {
-				best = loc
-				bestFinish = f
-			}
-		}
-		if best < 0 {
+		best, ok := b.pol.Assign(policy.Request{Block: bi.id, Size: bi.size, Replicas: b.repBuf})
+		if !ok {
 			bi.hasTarget = false
 			continue
 		}
@@ -248,12 +321,11 @@ func (b *DYRSBinder) UpdateTargets() {
 		}
 		bi.target = best
 		bi.hasTarget = true
-		b.finish[int(best)] = bestFinish
 		b.targets[int(best)] = append(b.targets[int(best)], bi)
 	}
 }
 
-func (b *DYRSBinder) stopBinder() {
+func (b *PolicyBinder) stopBinder() {
 	if b.ticker != nil {
 		b.ticker.Stop()
 	}

@@ -1,0 +1,124 @@
+package migration
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"dyrs/internal/cluster"
+	"dyrs/internal/policy"
+	"dyrs/internal/sim"
+)
+
+func TestBinderByName(t *testing.T) {
+	for _, name := range []string{"dyrs", "ignem", "costaware", "dyrs-ref"} {
+		b, err := BinderByName(name)
+		if err != nil {
+			t.Errorf("BinderByName(%q): %v", name, err)
+			continue
+		}
+		if b == nil {
+			t.Errorf("BinderByName(%q) returned nil binder", name)
+		}
+	}
+	if _, err := BinderByName("hdfs"); err == nil {
+		t.Error("BinderByName(\"hdfs\") should refuse a non-migrating policy")
+	}
+	if _, err := BinderByName("bogus"); err == nil {
+		t.Error("BinderByName(\"bogus\") should fail")
+	}
+	want := []string{"costaware", "dyrs", "dyrs-ref", "ignem"}
+	if got := BinderNames(); !reflect.DeepEqual(got, want) {
+		t.Errorf("BinderNames() = %v, want %v", got, want)
+	}
+}
+
+func TestNewPolicyBinderRejectsNonMigrating(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewPolicyBinder(HDFS) did not panic")
+		}
+	}()
+	NewPolicyBinder(policy.NewHDFS())
+}
+
+// TestPolicyBinderImmediateBindsOnMigrate drives the immediate-binding
+// path: an Ignem-backed PolicyBinder must enqueue every block at
+// OnMigrate (no pending list) and migrate the whole file.
+func TestPolicyBinderImmediateBindsOnMigrate(t *testing.T) {
+	b := NewPolicyBinder(policy.NewIgnem())
+	r := newRig(t, 1, 4, b, nil, DefaultConfig())
+	r.mkFile(t, "in", 8)
+	if err := r.c.Migrate(1, []string{"in"}, false); err != nil {
+		t.Fatal(err)
+	}
+	if got := b.PendingCount(); got != 0 {
+		t.Errorf("immediate binder holds %d pending blocks", got)
+	}
+	r.eng.RunUntil(sim.Time(120 * time.Second))
+	st := r.c.Stats()
+	if st.Requested != 8 || st.Migrated != 8 {
+		t.Fatalf("requested=%d migrated=%d, want 8/8", st.Requested, st.Migrated)
+	}
+	r.c.Shutdown()
+}
+
+// TestPolicyBinderCostAwareMigrates drives the new heuristic end to end
+// through the delayed-binding machinery.
+func TestPolicyBinderCostAwareMigrates(t *testing.T) {
+	b := NewPolicyBinder(policy.NewCostAware())
+	r := newRig(t, 1, 4, b, nil, DefaultConfig())
+	r.mkFile(t, "in", 8)
+	if err := r.c.Migrate(1, []string{"in"}, false); err != nil {
+		t.Fatal(err)
+	}
+	r.eng.RunUntil(sim.Time(120 * time.Second))
+	st := r.c.Stats()
+	if st.Requested != 8 || st.Migrated != 8 {
+		t.Fatalf("requested=%d migrated=%d, want 8/8", st.Requested, st.Migrated)
+	}
+	if b.Name() != "CostAware" {
+		t.Errorf("binder name %q", b.Name())
+	}
+	if b.Policy().Name() != "CostAware" {
+		t.Errorf("wrapped policy name %q", b.Policy().Name())
+	}
+	r.c.Shutdown()
+}
+
+// TestPolicyBinderMatchesReference is the unit-level half of the
+// conformance proof: the same rig, workload and fault-free schedule run
+// under the extracted DYRS policy and under the frozen reference binder
+// must produce identical stats and identical per-slave migration
+// counts. (The harness-level suite additionally pins trace hashes
+// across fuzz scenarios with faults.)
+func TestPolicyBinderMatchesReference(t *testing.T) {
+	run := func(binder Binder) (Stats, []int) {
+		r := newRig(t, 7, 6, binder, nil, DefaultConfig())
+		r.mkFile(t, "a", 12)
+		r.mkFile(t, "b", 9)
+		if err := r.c.Migrate(1, []string{"a"}, false); err != nil {
+			t.Fatal(err)
+		}
+		r.eng.RunUntil(sim.Time(5 * time.Second))
+		if err := r.c.Migrate(2, []string{"b"}, false); err != nil {
+			t.Fatal(err)
+		}
+		r.eng.RunUntil(sim.Time(180 * time.Second))
+		per := make([]int, 6)
+		for i := range per {
+			per[i] = r.c.Slave(cluster.NodeID(i)).Migrations
+		}
+		st := r.c.Stats()
+		r.c.Shutdown()
+		return st, per
+	}
+	st1, per1 := run(NewDYRSBinder())
+	st2, per2 := run(NewReferenceDYRSBinder())
+	if st1 != st2 {
+		t.Errorf("stats diverge: extracted %+v, reference %+v", st1, st2)
+	}
+	if !reflect.DeepEqual(per1, per2) {
+		t.Errorf("per-slave migrations diverge: extracted %v, reference %v", per1, per2)
+	}
+}

@@ -1,0 +1,159 @@
+package policy
+
+import (
+	"math/rand"
+	"testing"
+
+	"dyrs/internal/cluster"
+	"dyrs/internal/dfs"
+	"dyrs/internal/sim"
+)
+
+// TestDYRSEarliestFinish pins the Algorithm 1 semantics: a block
+// targets the replica with the lowest finish-time estimate, accounting
+// for per-node speed and queue depth.
+func TestDYRSEarliestFinish(t *testing.T) {
+	p := NewDYRS()
+	p.Begin(View{
+		Nodes: []NodeView{
+			{Alive: true, PerByte: 1e-8, Queued: 0}, // fast, idle
+			{Alive: true, PerByte: 1e-9, Queued: 9}, // faster, but deep queue
+			{Alive: true, PerByte: 1e-7, Queued: 0}, // slow
+		},
+		StdBlock: 128 * sim.MB,
+	})
+	// finish(0) = 1e-8*128M*1 ≈ 1.34s; finish(1) = 1e-9*128M*10 ≈ 1.34s;
+	// adding one 128MB block: node 0 → 2.68s, node 1 → 1.47s. Node 1 wins
+	// despite the queue because it is 10x faster.
+	got, ok := p.Assign(Request{Block: 1, Size: 128 * sim.MB, Replicas: []cluster.NodeID{0, 1, 2}})
+	if !ok || got != 1 {
+		t.Fatalf("Assign = (%d, %v), want node 1", got, ok)
+	}
+}
+
+// TestDYRSConvoySpreads pins the running-finish update: a convoy of
+// equal blocks with replicas on two equal nodes alternates between
+// them instead of piling onto one.
+func TestDYRSConvoySpreads(t *testing.T) {
+	p := NewDYRS()
+	p.Begin(View{
+		Nodes: []NodeView{
+			{Alive: true, PerByte: 1e-8},
+			{Alive: true, PerByte: 1e-8},
+		},
+		StdBlock: 128 * sim.MB,
+	})
+	counts := map[cluster.NodeID]int{}
+	for i := 0; i < 10; i++ {
+		got, ok := p.Assign(Request{Block: dfs.BlockID(i), Size: 128 * sim.MB,
+			Replicas: []cluster.NodeID{0, 1}})
+		if !ok {
+			t.Fatalf("block %d unassigned", i)
+		}
+		counts[got]++
+	}
+	if counts[0] != 5 || counts[1] != 5 {
+		t.Fatalf("convoy split %d/%d, want 5/5", counts[0], counts[1])
+	}
+}
+
+// TestCostAwareDiffersFromDYRS demonstrates the deliberate semantic
+// gap: CostAware counts queue slots, not accumulated bytes, so after a
+// node absorbs one huge block, DYRS avoids it but CostAware does not.
+func TestCostAwareDiffersFromDYRS(t *testing.T) {
+	view := func() View {
+		return View{
+			Nodes: []NodeView{
+				{Alive: true, PerByte: 1e-8},
+				{Alive: true, PerByte: 1.1e-8},
+			},
+			StdBlock: 128 * sim.MB,
+		}
+	}
+	huge := Request{Block: 0, Size: 2 * sim.GB, Replicas: []cluster.NodeID{0, 1}}
+	small := Request{Block: 1, Size: 64 * sim.MB, Replicas: []cluster.NodeID{0, 1}}
+
+	d := NewDYRS()
+	d.Begin(view())
+	dHuge, _ := d.Assign(huge)
+	dSmall, _ := d.Assign(small)
+
+	c := NewCostAware()
+	c.Begin(view())
+	cHuge, _ := c.Assign(huge)
+	cSmall, _ := c.Assign(small)
+
+	// Both send the huge block to the slightly faster node 0.
+	if dHuge != 0 || cHuge != 0 {
+		t.Fatalf("huge block went to DYRS=%d CostAware=%d, want 0/0", dHuge, cHuge)
+	}
+	// DYRS knows node 0 now has 2 GB of work and diverts the small block;
+	// CostAware only sees one queue slot either way and keeps preferring
+	// the cheaper perByte on a one-deep queue... which here is node 1 too
+	// for cost (1e-8*2 vs 1.1e-8*1): 2.0e-8 > 1.1e-8 → node 1. The
+	// distinction shows at equal per-byte costs:
+	if dSmall != 1 {
+		t.Fatalf("DYRS sent small block to %d, want 1", dSmall)
+	}
+	if cSmall != 1 {
+		t.Fatalf("CostAware sent small block to %d, want 1", cSmall)
+	}
+
+	// Equal speeds: force 2 GB onto node 0 and 64 MB onto node 1 (one
+	// slot each). DYRS weighs the accumulated bytes and diverts the next
+	// standard block to node 1; CostAware sees one equal-cost slot on
+	// each and falls back to the first-replica tie-break (node 0) — the
+	// size-blindness the doc comment promises.
+	d2 := NewDYRS()
+	c2 := NewCostAware()
+	eq := View{
+		Nodes:    []NodeView{{Alive: true, PerByte: 1e-8}, {Alive: true, PerByte: 1e-8}},
+		StdBlock: 128 * sim.MB,
+	}
+	onto0 := Request{Block: 0, Size: 2 * sim.GB, Replicas: []cluster.NodeID{0}}
+	onto1 := Request{Block: 1, Size: 64 * sim.MB, Replicas: []cluster.NodeID{1}}
+	std := Request{Block: 2, Size: 128 * sim.MB, Replicas: []cluster.NodeID{0, 1}}
+	d2.Begin(eq)
+	d2.Assign(onto0)
+	d2.Assign(onto1)
+	c2.Begin(eq)
+	c2.Assign(onto0)
+	c2.Assign(onto1)
+	if got, _ := d2.Assign(std); got != 1 {
+		t.Errorf("DYRS after huge block: target %d, want 1 (finish-aware)", got)
+	}
+	if got, _ := c2.Assign(std); got != 0 {
+		t.Errorf("CostAware after huge block: target %d, want 0 (size-blind)", got)
+	}
+}
+
+// TestIgnemUniformOverLiveReplicas checks Ignem draws only live
+// replicas and reaches all of them.
+func TestIgnemUniformOverLiveReplicas(t *testing.T) {
+	p := NewIgnem()
+	v := View{
+		Nodes: []NodeView{
+			{Alive: true}, {Alive: false}, {Alive: true}, {Alive: true},
+		},
+		StdBlock: 128 * sim.MB,
+		Rand:     rand.New(rand.NewSource(42)),
+	}
+	p.Begin(v)
+	counts := map[cluster.NodeID]int{}
+	for i := 0; i < 300; i++ {
+		got, ok := p.Assign(Request{Block: dfs.BlockID(i), Size: sim.MB,
+			Replicas: []cluster.NodeID{0, 1, 2, 3}})
+		if !ok {
+			t.Fatalf("draw %d unassigned", i)
+		}
+		if got == 1 {
+			t.Fatalf("draw %d targeted dead node 1", i)
+		}
+		counts[got]++
+	}
+	for _, n := range []cluster.NodeID{0, 2, 3} {
+		if counts[n] < 50 {
+			t.Errorf("node %d drawn only %d/300 times — not uniform", n, counts[n])
+		}
+	}
+}
