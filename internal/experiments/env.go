@@ -70,6 +70,12 @@ type Options struct {
 	// differential lever dyrs-sim/dyrs-fuzz -shards pulls to prove the
 	// sharded executor against the sequential one.
 	Shards int
+	// RefResources builds the environment on reference-mode resources
+	// (sim.Engine.SetReferenceResources): the structurally naive
+	// fair-share model that shares its arithmetic with the optimized
+	// finish-tag heap. The resource conformance suite differences full
+	// runs against it; production code leaves it false.
+	RefResources bool
 	// MigBinder, when non-empty and the policy migrates, overrides the
 	// binder backing the coordinator: a migrating internal/policy name
 	// ("dyrs", "ignem", "costaware") or "dyrs-ref" (the frozen
@@ -109,6 +115,9 @@ func NewEnv(policy Policy, opt Options) *Env {
 		eng = sim.NewShardedEngine(opt.Seed, opt.Shards, time.Millisecond).Shard(0)
 	} else {
 		eng = sim.NewEngine(opt.Seed)
+	}
+	if opt.RefResources {
+		eng.SetReferenceResources(true)
 	}
 	if opt.Trace {
 		// Attach before any component constructs: they capture the run's

@@ -1,0 +1,72 @@
+package harness
+
+import (
+	"fmt"
+	"testing"
+
+	"dyrs/internal/experiments"
+)
+
+// TestResourceModelConformance is the whole-simulation differential proof
+// behind the virtual-service-time resource rewrite: a full scenario run
+// on the optimized fair-share model (finish-tag heap, O(1) lazy accrual,
+// coalesced rebalances, pooled flows) must be byte-identical — same
+// canonical trace hash, same stats, same counters, same completion set,
+// same end time — to the same run on reference-mode resources
+// (sim.Engine.SetReferenceResources), whose linear bookkeeping shares
+// every float expression with the optimized path. 60 fuzz seeds,
+// rotating the engine shard count through {1, 2, 4} so the equivalence
+// holds sequential and sharded.
+func TestResourceModelConformance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("60-seed differential suite is not short")
+	}
+	for seed := int64(1); seed <= 60; seed++ {
+		seed := seed
+		shards := shardRotationFor(seed)
+		t.Run(fmt.Sprintf("seed=%d/shards=%d", seed, shards), func(t *testing.T) {
+			t.Parallel()
+			sc := Generate(seed)
+			sc.Shards = shards
+
+			opt := sc
+			ref := sc
+			ref.RefResources = true
+
+			re := RunScenario(opt, experiments.DYRS)
+			rr := RunScenario(ref, experiments.DYRS)
+			diffRuns(t, re, rr)
+		})
+	}
+}
+
+// TestResourceModelConformanceServing extends the differential proof to
+// the serving envelope: the open-loop request stream and epoch prefetch
+// cycle drive far denser flow churn (many same-instant admissions on hot
+// replica holders' NICs), so the flush coalescing and completion cascade
+// see their worst case here.
+func TestResourceModelConformanceServing(t *testing.T) {
+	if testing.Short() {
+		t.Skip("differential suite is not short")
+	}
+	for seed := int64(1); seed <= 12; seed++ {
+		seed := seed
+		shards := shardRotationFor(seed)
+		t.Run(fmt.Sprintf("seed=%d/shards=%d", seed, shards), func(t *testing.T) {
+			t.Parallel()
+			sc := GenerateServing(seed)
+			sc.Shards = shards
+
+			opt := sc
+			ref := sc
+			ref.RefResources = true
+
+			re := RunScenario(opt, experiments.DYRS)
+			rr := RunScenario(ref, experiments.DYRS)
+			if re.RequestsServed != rr.RequestsServed {
+				t.Errorf("served: optimized %d, reference %d", re.RequestsServed, rr.RequestsServed)
+			}
+			diffRuns(t, re, rr)
+		})
+	}
+}

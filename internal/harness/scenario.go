@@ -170,6 +170,11 @@ type Scenario struct {
 	Faults     []Fault
 	// Horizon bounds the whole run; exceeding it is a liveness failure.
 	Horizon time.Duration
+	// RefResources runs the scenario on reference-mode fair-share
+	// resources (sim.Engine.SetReferenceResources). Set only by the
+	// resource conformance suite, which differences whole runs against
+	// the optimized finish-tag heap; never drawn by generate.
+	RefResources bool
 }
 
 // String renders a compact one-line description for failure reports.

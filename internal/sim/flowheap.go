@@ -1,0 +1,84 @@
+package sim
+
+// Indexed binary min-heap of flows ordered by normalized virtual finish
+// tag. Every active flow of a Resource lives in the heap (persistent
+// load flows sit at +Inf, i.e. after every finite flow), and each Flow
+// carries its own slot index so removal by handle is O(log n) with no
+// scanning. Ties on the tag break by admission sequence number, which
+// is what keeps completion order deterministic and equal to admission
+// order for flows that finish at the same virtual-service instant.
+
+// flowLess orders flows by (finish tag, admission seq).
+func flowLess(a, b *Flow) bool {
+	if a.tag != b.tag {
+		return a.tag < b.tag
+	}
+	return a.seq < b.seq
+}
+
+// heapPush inserts f and records its slot index.
+func (r *Resource) heapPush(f *Flow) {
+	r.heap = append(r.heap, f)
+	r.heapUp(len(r.heap)-1, f)
+}
+
+// heapRemove unlinks the flow occupying slot i. The slot is refilled
+// with the last element, which then sifts to its proper place.
+func (r *Resource) heapRemove(i int) {
+	h := r.heap
+	n := len(h) - 1
+	last := h[n]
+	h[n] = nil
+	r.heap = h[:n]
+	if i == n {
+		return
+	}
+	if !r.heapDown(i, last) {
+		r.heapUp(i, last)
+	}
+}
+
+// heapUp sifts f toward the root from the hole at slot i, using hole
+// moves (single final write) rather than swaps.
+func (r *Resource) heapUp(i int, f *Flow) {
+	h := r.heap
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !flowLess(f, h[parent]) {
+			break
+		}
+		h[i] = h[parent]
+		h[i].pos = int32(i)
+		i = parent
+	}
+	h[i] = f
+	f.pos = int32(i)
+}
+
+// heapDown sifts f away from the root from the hole at slot i and
+// reports whether it moved (callers fall back to heapUp when it did
+// not, the standard fix-in-place pattern).
+func (r *Resource) heapDown(i int, f *Flow) bool {
+	h := r.heap
+	n := len(h)
+	start := i
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		min := l
+		if rc := l + 1; rc < n && flowLess(h[rc], h[l]) {
+			min = rc
+		}
+		if !flowLess(h[min], f) {
+			break
+		}
+		h[i] = h[min]
+		h[i].pos = int32(i)
+		i = min
+	}
+	h[i] = f
+	f.pos = int32(i)
+	return i > start
+}

@@ -68,22 +68,57 @@ type FlowSink interface {
 // Flow is one transfer in progress on a Resource. Flows receive a
 // weighted fair share of the resource's current effective capacity and
 // complete when their remaining bytes reach zero.
+//
+// Completed flows are pooled: once the done callback has returned, the
+// Resource recycles the Flow struct for a later admission, so a handle
+// to a completed flow is valid only until its done callback returns
+// (mirroring the Engine's Event pooling contract). Cancelled flows are
+// never recycled — a cancel can race with a held handle elsewhere in
+// the model, so Cancel leaves the struct to the garbage collector and
+// stays a safe no-op on any already-ended flow it still points at.
 type Flow struct {
-	res       *Resource
-	remaining float64 // bytes left; +Inf for persistent load flows
-	weight    float64
-	rate      float64 // current bytes/sec, maintained by the resource
-	started   Time
-	done      func(f *Flow)
-	active    bool
-	total     float64 // original size, NaN for persistent
+	res    *Resource
+	tag    float64 // normalized virtual finish tag; +Inf for persistent
+	weight float64
+	seq    uint64 // admission sequence, tie-breaks equal tags
+	pos    int32  // heap slot index (optimized mode), for O(log n) removal
+
+	started Time
+	done    func(f *Flow)
+	active  bool
+	total   float64 // original size, NaN for persistent
+
+	// Materialized at the end of the flow's life: remaining bytes and
+	// last rate, so accessors on ended flows need no resource state.
+	endRem  float64
+	endRate float64
 }
 
-// Remaining reports the bytes this flow still has to transfer.
-func (f *Flow) Remaining() Bytes { return Bytes(math.Ceil(f.remaining)) }
+// Remaining reports the bytes this flow still has to transfer, as of the
+// resource's last accounting advance.
+func (f *Flow) Remaining() Bytes {
+	if f.active {
+		rem := (f.tag - f.res.vsrv) * f.weight
+		if rem < 0 {
+			rem = 0
+		}
+		return Bytes(math.Ceil(rem))
+	}
+	return Bytes(math.Ceil(f.endRem))
+}
 
-// Rate reports the flow's current transfer rate in bytes/sec.
-func (f *Flow) Rate() float64 { return f.rate }
+// Rate reports the flow's current transfer rate in bytes/sec (the rate
+// it was ending at, for completed or cancelled flows).
+func (f *Flow) Rate() float64 {
+	if !f.active {
+		return f.endRate
+	}
+	r := f.res
+	if r.totalW <= 0 {
+		return 0
+	}
+	return r.base * r.scale * r.eff(r.totalW) * f.weight / r.totalW
+}
 
 // Started reports when the flow was admitted.
 func (f *Flow) Started() Time { return f.started }
@@ -103,44 +138,92 @@ func (f *Flow) Size() Bytes {
 // Resource models a device with a shared, time-varying capacity —
 // a disk or a NIC. Concurrent flows share the effective capacity in
 // proportion to their weights (generalized processor sharing), and the
-// effective capacity is baseCapacity × scale × efficiency(numFlows).
+// effective capacity is baseCapacity × scale × efficiency(load).
 //
 // This fluid-flow model is what makes residual-bandwidth effects emerge
 // naturally: interference flows, task reads and migrations all compete on
 // the same Resource and each automatically slows the others down.
 //
-// The resource keeps exactly one engine timer, armed for the earliest
-// completion among its flows; admissions, cancellations and capacity
-// changes re-arm that single timer instead of rescheduling one event per
-// flow, so a state change on a busy device costs one O(log n) queue
-// operation rather than one per active flow.
+// # Virtual service time
+//
+// Under GPS every active flow f drains at rate totalRate·w_f/W, so the
+// normalized backlog remaining_f/w_f decreases at the flow-independent
+// rate vRate = totalRate/W. The resource therefore tracks a single
+// virtual-service accumulator V (vsrv) instead of per-flow remaining
+// counters: a flow admitted when the accumulator reads V₀ carries the
+// constant finish tag V₀ + size/w and completes exactly when V reaches
+// its tag. Admissions, cancellations and capacity changes alter only the
+// rate at which V advances — never the tags — so the completion order
+// (tag, admission seq) is invariant and a probe or state change costs
+// O(1) accounting instead of a walk over every active flow.
+//
+// Accounting is lazy: advance() accrues busy time, V and the aggregate
+// bytesMoved from the cached rates in O(1); a flow's own byte position
+// is materialized only at its completion/cancel boundary (and on
+// Remaining probes) as (tag − V)·w.
+//
+// The finite flows live in an indexed min-heap on (tag, seq) — see
+// flowheap.go — so the single completion timer re-arms from the heap
+// head in O(1) and the same-instant completion cascade pops ripe flows
+// in O(log n) each, replacing the previous design's O(n) rescans.
+// Removal by handle is O(log n) via the flow's stored heap slot.
+//
+// State changes within one virtual instant coalesce: each marks the
+// resource dirty and the rates/timer are recomputed once, by a flush
+// event that fires after every same-instant model event (it is
+// scheduled at the current instant with a later sequence number). A
+// burst of admissions therefore costs one rebalance, not one per flow.
+//
+// When the resource idles (no active flows) V, W and the cached rates
+// reset to zero, so float drift cannot accumulate across busy periods.
 type Resource struct {
 	eng   *Engine
 	name  string
 	base  float64 // bytes/sec nominal
 	scale float64 // dynamic capacity multiplier (hardware heterogeneity)
 	eff   EfficiencyFunc
-	// flows keeps admission order: iteration order drives float
-	// summation and completion-event scheduling, and a map here would
-	// make identical seeds give different results run to run.
-	flows []*Flow
+
+	// Virtual-service state. vsrv is V(t): cumulative normalized service
+	// per unit weight this busy period. vRate and totalRate are cached at
+	// the last flush (or cascade repricing) and stay valid for the whole
+	// inter-event interval, because any state change re-flushes within
+	// the same virtual instant.
+	vsrv      float64
+	vRate     float64 // dV/dt = totalRate/totalW
+	totalRate float64 // base × scale × eff(totalW)
 	// totalW is the summed weight of the active flows, maintained
 	// incrementally (and reset to zero whenever the resource idles, so
 	// float drift cannot accumulate across busy periods).
-	totalW     float64
+	totalW   float64
+	admitSeq uint64
+
+	// heap holds every active flow ordered by (tag, seq); see flowheap.go.
+	heap []*Flow
+	// rflows replaces the heap in reference mode (Engine.
+	// SetReferenceResources): a plain admission-ordered slice with linear
+	// scans, sharing every float expression with the optimized path so
+	// the two modes are byte-identical by construction. Differential and
+	// conformance tests run against it.
+	rflows []*Flow
+	naive  bool
+
 	lastUpdate Time
 	timer      *Event // single completion timer; nil when nothing finite runs
 	timerFn    func() // bound once so re-arming allocates nothing
+	dirty      bool   // a same-instant flush event is pending
+	flushFn    func() // bound once so coalescing allocates nothing
+
+	free []*Flow // recycled completed Flow structs; steady state allocates none
 
 	// accounting
-	bytesMoved float64 // total bytes completed through this resource
+	bytesMoved float64 // total bytes transferred through this resource
 	busy       Duration
 }
 
 // NewResource creates a resource with the given nominal capacity in
 // bytes/sec. eff may be nil for flat (no concurrency penalty) behaviour.
 func NewResource(eng *Engine, name string, capacity float64, eff EfficiencyFunc) *Resource {
-	if capacity <= 0 {
+	if !(capacity > 0) {
 		panic("sim: resource capacity must be positive")
 	}
 	if eff == nil {
@@ -152,8 +235,10 @@ func NewResource(eng *Engine, name string, capacity float64, eff EfficiencyFunc)
 		base:  capacity,
 		scale: 1,
 		eff:   eff,
+		naive: eng.refResources,
 	}
 	r.timerFn = r.onTimer
+	r.flushFn = r.flush
 	return r
 }
 
@@ -166,16 +251,22 @@ func (r *Resource) Capacity() float64 { return r.base }
 // EffectiveCapacity reports the current total throughput available to the
 // active flows: base × scale × efficiency(load).
 func (r *Resource) EffectiveCapacity() float64 {
-	return r.base * r.scale * r.eff(r.totalWeight())
+	return r.base * r.scale * r.eff(r.totalW)
 }
 
-func (r *Resource) totalWeight() float64 { return r.totalW }
+// count reports the number of active flows (finite and persistent).
+func (r *Resource) count() int {
+	if r.naive {
+		return len(r.rflows)
+	}
+	return len(r.heap)
+}
 
 // ActiveFlows reports the number of in-progress flows.
-func (r *Resource) ActiveFlows() int { return len(r.flows) }
+func (r *Resource) ActiveFlows() int { return r.count() }
 
-// BytesMoved reports the cumulative bytes transferred to completion plus
-// progress of active flows up to the current instant.
+// BytesMoved reports the cumulative bytes transferred through this
+// resource up to the current instant, including progress of active flows.
 func (r *Resource) BytesMoved() Bytes {
 	r.advance()
 	return Bytes(r.bytesMoved)
@@ -204,14 +295,14 @@ func (r *Resource) Utilization(since Time) float64 {
 }
 
 // SetScale changes the dynamic capacity multiplier (e.g. 0.3 for a
-// handicapped node). Active flows are re-rated immediately.
+// handicapped node). Active flows are re-rated at this instant.
 func (r *Resource) SetScale(s float64) {
-	if s <= 0 {
+	if !(s > 0) {
 		panic("sim: resource scale must be positive")
 	}
 	r.advance()
 	r.scale = s
-	r.rebalance()
+	r.markDirty()
 }
 
 // Scale reports the current capacity multiplier.
@@ -229,22 +320,11 @@ func (r *Resource) StartWeighted(size Bytes, weight float64, done func(f *Flow))
 	if size <= 0 {
 		panic("sim: flow size must be positive")
 	}
-	if weight <= 0 {
+	if !(weight > 0) {
 		panic("sim: flow weight must be positive")
 	}
 	r.advance()
-	f := &Flow{
-		res:       r,
-		remaining: float64(size),
-		total:     float64(size),
-		weight:    weight,
-		started:   r.eng.Now(),
-		done:      done,
-		active:    true,
-	}
-	r.flows = append(r.flows, f)
-	r.totalW += weight
-	r.rebalance()
+	f := r.admit(r.vsrv+float64(size)/weight, float64(size), weight, done)
 	if s := r.eng.flowSink; s != nil {
 		s.FlowStarted(r, f)
 	}
@@ -255,24 +335,41 @@ func (r *Resource) StartWeighted(size Bytes, weight float64, done func(f *Flow))
 // a background interference stream (the paper's dd jobs). It is removed
 // with Flow.Cancel.
 func (r *Resource) StartLoad(weight float64) *Flow {
-	if weight <= 0 {
+	if !(weight > 0) {
 		panic("sim: flow weight must be positive")
 	}
 	r.advance()
-	f := &Flow{
-		res:       r,
-		remaining: math.Inf(1),
-		total:     math.NaN(),
-		weight:    weight,
-		started:   r.eng.Now(),
-		active:    true,
-	}
-	r.flows = append(r.flows, f)
-	r.totalW += weight
-	r.rebalance()
+	f := r.admit(math.Inf(1), math.NaN(), weight, nil)
 	if s := r.eng.flowSink; s != nil {
 		s.FlowStarted(r, f)
 	}
+	return f
+}
+
+// admit builds a flow (from the pool when possible), links it into the
+// active set and schedules the same-instant rebalance. The tag must be
+// final before the flow enters the heap.
+func (r *Resource) admit(tag, total, weight float64, done func(f *Flow)) *Flow {
+	var f *Flow
+	if n := len(r.free); n > 0 {
+		f = r.free[n-1]
+		r.free[n-1] = nil
+		r.free = r.free[:n-1]
+	} else {
+		f = &Flow{}
+	}
+	f.res = r
+	f.tag = tag
+	f.total = total
+	f.weight = weight
+	f.started = r.eng.Now()
+	f.done = done
+	f.active = true
+	f.seq = r.admitSeq
+	r.admitSeq++
+	r.addFlow(f)
+	r.totalW += weight
+	r.markDirty()
 	return f
 }
 
@@ -285,92 +382,132 @@ func (f *Flow) Cancel() {
 	r := f.res
 	r.advance()
 	f.active = false
-	r.remove(f)
+	f.endRate = r.totalRate * f.weight / r.totalW
+	f.endRem = (f.tag - r.vsrv) * f.weight
+	if f.endRem < 0 {
+		f.endRem = 0
+	}
+	r.removeFlow(f)
 	r.totalW -= f.weight
-	r.rebalance()
+	if r.count() == 0 {
+		r.resetIdle()
+	}
+	r.markDirty()
 	if s := r.eng.flowSink; s != nil {
 		s.FlowEnded(r, f, false)
 	}
 }
 
-// remove deletes a flow while preserving the admission order of the
-// remaining flows.
-func (r *Resource) remove(f *Flow) {
-	for i, g := range r.flows {
-		if g == f {
-			r.flows = append(r.flows[:i], r.flows[i+1:]...)
-			return
-		}
+// addFlow links a freshly admitted flow into the active set.
+func (r *Resource) addFlow(f *Flow) {
+	if r.naive {
+		r.rflows = append(r.rflows, f)
+		return
 	}
+	r.heapPush(f)
 }
 
-// advance moves every active flow forward to the current instant at its
-// last-computed rate and accrues accounting.
+// removeFlow unlinks an active flow: O(log n) by stored heap slot, or
+// the reference mode's deliberate linear scan (admission order kept).
+func (r *Resource) removeFlow(f *Flow) {
+	if r.naive {
+		for i, g := range r.rflows {
+			if g == f {
+				r.rflows = append(r.rflows[:i], r.rflows[i+1:]...)
+				return
+			}
+		}
+		return
+	}
+	r.heapRemove(int(f.pos))
+}
+
+// earliest returns the finite flow with the smallest (tag, seq), or nil
+// when only persistent flows (or nothing) run. In optimized mode this is
+// the heap head; the reference mode scans.
+func (r *Resource) earliest() *Flow {
+	if r.naive {
+		var best *Flow
+		for _, f := range r.rflows {
+			if math.IsInf(f.tag, 1) {
+				continue
+			}
+			if best == nil || flowLess(f, best) {
+				best = f
+			}
+		}
+		return best
+	}
+	if len(r.heap) == 0 || math.IsInf(r.heap[0].tag, 1) {
+		return nil
+	}
+	return r.heap[0]
+}
+
+// advance accrues accounting up to the current instant: busy time, the
+// virtual-service accumulator and aggregate bytes, all in O(1). Per-flow
+// rates were constant since lastUpdate because every state change
+// re-flushes within its own instant.
 func (r *Resource) advance() {
 	now := r.eng.Now()
-	dt := now.Sub(r.lastUpdate).Seconds()
-	if dt <= 0 {
+	d := now.Sub(r.lastUpdate)
+	if d <= 0 {
 		r.lastUpdate = now
 		return
 	}
-	if len(r.flows) > 0 {
-		r.busy += now.Sub(r.lastUpdate)
-	}
-	for _, f := range r.flows {
-		moved := f.rate * dt
-		if moved > f.remaining {
-			moved = f.remaining
-		}
-		f.remaining -= moved
-		if !math.IsInf(f.remaining, 1) {
-			r.bytesMoved += moved
-		} else {
-			// Persistent load flows count toward bytesMoved too: they
-			// represent real IO consuming the device.
-			r.bytesMoved += f.rate * dt
-		}
+	if r.count() > 0 {
+		r.busy += d
+		dt := d.Seconds()
+		r.vsrv += r.vRate * dt
+		r.bytesMoved += r.totalRate * dt
 	}
 	r.lastUpdate = now
 }
 
-// rebalance recomputes every flow's rate and re-arms the completion timer
-// for the earliest-finishing flow. Must be called with accounting already
-// advanced to now.
-func (r *Resource) rebalance() {
+// markDirty coalesces same-instant rebalances: the first state change at
+// an instant schedules one flush event; later changes at the same
+// instant ride along for free.
+func (r *Resource) markDirty() {
+	if r.dirty {
+		return
+	}
+	r.dirty = true
+	r.eng.At(r.eng.Now(), r.flushFn)
+}
+
+// flush recomputes the cached rates from the current membership and
+// re-arms the single completion timer. It runs after every model event
+// of the instant that dirtied the resource, so it sees the settled
+// state.
+func (r *Resource) flush() {
+	r.dirty = false
 	if r.timer != nil {
 		r.eng.Cancel(r.timer)
 		r.timer = nil
 	}
-	if len(r.flows) == 0 {
-		r.totalW = 0
+	if r.count() == 0 {
 		return
 	}
-	totalRate := r.base * r.scale * r.eff(r.totalW)
-	minSecs := math.Inf(1)
-	for _, f := range r.flows {
-		f.rate = totalRate * f.weight / r.totalW
-		if math.IsInf(f.remaining, 1) {
-			continue
-		}
-		if secs := f.remaining / f.rate; secs < minSecs {
-			minSecs = secs
-		}
-	}
-	if !math.IsInf(minSecs, 1) {
-		r.timer = r.eng.Schedule(Duration(minSecs*float64(Second)), r.timerFn)
+	r.reprice()
+	if f := r.earliest(); f != nil {
+		r.timer = r.eng.Schedule(Duration((f.tag-r.vsrv)/r.vRate*float64(Second)), r.timerFn)
 	}
 }
 
-// recomputeRates refreshes flow rates after a removal without touching the
-// timer; completeRipe re-arms it once the completion cascade settles.
-func (r *Resource) recomputeRates() {
-	if len(r.flows) == 0 {
-		return
-	}
-	totalRate := r.base * r.scale * r.eff(r.totalW)
-	for _, f := range r.flows {
-		f.rate = totalRate * f.weight / r.totalW
-	}
+// reprice refreshes the cached aggregate rate and virtual-service rate
+// from the current membership. Callers guarantee totalW > 0.
+func (r *Resource) reprice() {
+	r.totalRate = r.base * r.scale * r.eff(r.totalW)
+	r.vRate = r.totalRate / r.totalW
+}
+
+// resetIdle zeroes the per-busy-period state once the last flow leaves,
+// bounding float drift to one busy period.
+func (r *Resource) resetIdle() {
+	r.totalW = 0
+	r.vsrv = 0
+	r.vRate = 0
+	r.totalRate = 0
 }
 
 // Second is one virtual second, for converting float seconds to Duration.
@@ -384,43 +521,64 @@ func (r *Resource) onTimer() {
 	r.completeRipe()
 }
 
-// completeRipe completes, in admission order, every flow whose remaining
-// bytes finish within the current nanosecond at its current rate — which
-// is exactly the set of flows whose per-flow completion events would fire
-// at this same instant under eager per-flow scheduling, so completion
-// order and timestamps match that design bit for bit. Rates are
-// recomputed after each removal (freeing capacity can ripen the next
-// flow), and the single timer is re-armed once the cascade settles.
+// completeRipe completes, in (tag, admission) order, every flow whose
+// remaining time at the current rates truncates to zero nanoseconds —
+// the set whose per-flow completion events would fire at this instant
+// under eager per-flow scheduling. Rates are repriced after each pop
+// (freeing capacity can ripen the next flow) and once more up front,
+// because a same-instant event before the timer may have changed
+// membership with the recompute still pending in the flush event.
 func (r *Resource) completeRipe() {
+	if r.count() > 0 {
+		r.reprice()
+	}
 	for {
-		var ripe *Flow
-		for _, f := range r.flows {
-			if !math.IsInf(f.remaining, 1) && Duration(f.remaining/f.rate*float64(Second)) == 0 {
-				ripe = f
-				break
-			}
-		}
-		if ripe == nil {
+		f := r.earliest()
+		if f == nil {
 			break
 		}
-		// Guard against float drift: the timer fires when remaining ~ 0.
-		if ripe.remaining > 0 {
-			r.bytesMoved += ripe.remaining
-			ripe.remaining = 0
+		secs := (f.tag - r.vsrv) / r.vRate
+		if Duration(secs*float64(Second)) > 0 {
+			break
 		}
-		ripe.active = false
-		r.remove(ripe)
-		r.totalW -= ripe.weight
-		if len(r.flows) == 0 {
-			r.totalW = 0
+		f.endRate = r.totalRate * f.weight / r.totalW
+		// Guard against float drift: the timer fires when the virtual
+		// accumulator ~ reaches the tag; credit any sub-nanosecond
+		// leftover so completed bytes stay conserved.
+		if left := (f.tag - r.vsrv) * f.weight; left > 0 {
+			r.bytesMoved += left
 		}
-		r.recomputeRates()
+		f.active = false
+		f.endRem = 0
+		r.removeFlow(f)
+		r.totalW -= f.weight
+		if r.count() == 0 {
+			r.resetIdle()
+		} else {
+			r.reprice()
+		}
 		if s := r.eng.flowSink; s != nil {
-			s.FlowEnded(r, ripe, true)
+			s.FlowEnded(r, f, true)
 		}
-		if ripe.done != nil {
-			ripe.done(ripe)
+		if f.done != nil {
+			f.done(f)
 		}
+		r.recycle(f)
 	}
-	r.rebalance()
+	if r.count() > 0 {
+		r.markDirty()
+	}
+}
+
+// maxFreeFlows caps the per-resource pool of recycled Flow structs.
+const maxFreeFlows = 1 << 12
+
+// recycle returns a completed flow to the pool once its done callback
+// has run. Only completions recycle (see the Flow handle contract);
+// cancelled flows are left to the garbage collector.
+func (r *Resource) recycle(f *Flow) {
+	f.done = nil
+	if len(r.free) < maxFreeFlows {
+		r.free = append(r.free, f)
+	}
 }
